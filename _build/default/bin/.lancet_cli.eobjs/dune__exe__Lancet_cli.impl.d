@@ -1,0 +1,1 @@
+bin/lancet_cli.ml: Arg Array Cmd Cmdliner Format Hashtbl Jsdom Lancet List Lms Mini Term Util_contains Vm

@@ -1,0 +1,1 @@
+bin/lancet_cli.mli:

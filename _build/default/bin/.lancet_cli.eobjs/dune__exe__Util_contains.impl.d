@@ -1,0 +1,1 @@
+bin/util_contains.ml: String

@@ -1,0 +1,126 @@
+(* Command-line driver: run Mini programs on the interpreter, compile
+   functions with Lancet and dump their optimized IR, disassemble generated
+   bytecode, or cross-compile to JavaScript. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let parse_arg (s : string) : Vm.Types.value =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> Str s)
+
+let load path =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt (read_file path) in
+  (rt, p)
+
+(* ---- run ---- *)
+
+let run_cmd file fn args =
+  let _, p = load file in
+  let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
+  Format.printf "%a@." Vm.Value.pp v;
+  0
+
+(* ---- disasm ---- *)
+
+let disasm_cmd file names =
+  let rt, _ = load file in
+  Hashtbl.iter
+    (fun cname (cls : Vm.Types.cls) ->
+      let wanted =
+        names = [] || List.exists (fun n -> Util_contains.contains cname n) names
+      in
+      if wanted && cls.Vm.Types.cmethods <> [] then
+        Format.printf "%s@.@." (Vm.Disasm.class_to_string cls))
+    rt.Vm.Types.classes;
+  0
+
+(* ---- verify ---- *)
+
+let verify_cmd file =
+  let rt, _ = load file in
+  let n = Vm.Verifier.verify_all rt in
+  Format.printf "ok: %d bytecode method(s) verified@." n;
+  0
+
+(* ---- compile: dump the optimized IR of a zero-argument maker ---- *)
+
+let compile_cmd file fn args =
+  let rt, p = load file in
+  let clo = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
+  (match Lancet.Compiler.compile_value rt clo with
+  | _ -> ()
+  | exception Lancet.Errors.Compile_error msg ->
+    Format.printf "compile error: %s@." msg);
+  (match !Lancet.Compiler.last_graph with
+  | Some g -> Format.printf "%s@." (Lms.Pretty.graph_to_string g)
+  | None -> Format.printf "(no graph)@.");
+  List.iter
+    (fun (w : Lancet.Errors.warning) ->
+      Format.printf "warning [%s]: %s@." w.w_tag w.w_msg)
+    (Lancet.Errors.take_warnings ());
+  0
+
+(* ---- js: cross-compile a closure-producing function ---- *)
+
+let js_cmd file fn args name =
+  let rt, p = load file in
+  Jsdom.install rt;
+  let clo = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
+  print_string (Jsdom.cross_compile rt ~name clo ~nargs:0);
+  0
+
+(* ---- cmdliner plumbing ---- *)
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+let fn_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNCTION")
+let rest = Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS")
+
+let run_t =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
+    Term.(const run_cmd $ file $ fn_pos $ rest)
+
+let disasm_names =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")
+
+let disasm_t =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble the bytecode generated for FILE")
+    Term.(const disasm_cmd $ file $ disasm_names)
+
+let verify_t =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run the bytecode verifier over FILE's output")
+    Term.(const verify_cmd $ file)
+
+let compile_t =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Call FUNCTION (which must return a closure), Lancet-compile the \
+          closure and print the optimized IR")
+    Term.(const compile_cmd $ file $ fn_pos $ rest)
+
+let js_name =
+  Arg.(value & opt string "kernel" & info [ "name" ] ~docv:"NAME")
+
+let js_t =
+  Cmd.v
+    (Cmd.info "js"
+       ~doc:"Cross-compile the closure returned by FUNCTION to JavaScript")
+    Term.(const js_cmd $ file $ fn_pos $ rest $ js_name)
+
+let () =
+  let doc = "Lancet: a surgical-precision JIT for Mini/VM bytecode" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "lancet" ~doc) [ run_t; disasm_t; verify_t; compile_t; js_t ]))

@@ -1,0 +1,1 @@
+examples/continuations.ml: Lancet Mini Printf Vm

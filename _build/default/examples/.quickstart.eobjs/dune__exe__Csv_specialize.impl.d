@@ -1,0 +1,1 @@
+examples/csv_specialize.ml: Csvlib Lancet List Mini Printf String Vm

@@ -1,0 +1,1 @@
+examples/js_crosscompile.ml: Jsdom Lancet Mini Vm

@@ -1,0 +1,1 @@
+examples/kmeans_acceleration.ml: Delite Float List Optiml Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lancet Lms Mini Printf Vm

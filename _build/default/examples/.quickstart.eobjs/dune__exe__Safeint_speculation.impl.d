@@ -1,0 +1,1 @@
+examples/safeint_speculation.ml: Lancet Lms Mini Printf Safeint String Vm

@@ -1,0 +1,1 @@
+examples/safeint_speculation.mli:

@@ -1,0 +1,1 @@
+examples/sql_queries.ml: List Printf Query

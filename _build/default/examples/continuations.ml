@@ -1,0 +1,38 @@
+(* Delimited continuations (paper Sec. 3.2): shift/reset as JIT macros over
+   the linked interpreter frames — "all kinds of advanced control structures
+   like coroutines, generators or asynchronous callbacks". *)
+
+let src =
+  {|
+// early exit from a compiled search loop: shift aborts to the reset
+def find_sqrt(limit: int, target: int): int =
+  Lancet.reset(fun () => {
+    for (i <- 0 until limit) {
+      if (i * i == target) { Lancet.shift(fun (k: (int) -> int) => i); 0 }
+      else 0
+    };
+    0 - 1
+  })
+
+// multi-shot: the captured continuation is invoked twice
+def double_world(x: int): int =
+  Lancet.reset(fun () =>
+    Lancet.shift(fun (k: (int) -> int) => k(1) + k(2)) * x)
+|}
+
+let () =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt src in
+  let compile name =
+    let m = Mini.Front.find_function p name in
+    Lancet.Compiler.compile_method rt m [| Lancet.Compiler.Dyn; Lancet.Compiler.Dyn |]
+  in
+  let find = compile "find_sqrt" in
+  Printf.printf "find_sqrt(100, 49)  = %s   (early exit via shift)\n"
+    (Vm.Value.to_string (find [| Int 100; Int 49 |]));
+  Printf.printf "find_sqrt(100, 50)  = %s   (not found)\n"
+    (Vm.Value.to_string (find [| Int 100; Int 50 |]));
+  let m = Mini.Front.find_function p "double_world" in
+  let dw = Lancet.Compiler.compile_method rt m [| Lancet.Compiler.Dyn |] in
+  Printf.printf "double_world(7)     = %s   (k(1) + k(2) = 1*7 + 2*7)\n"
+    (Vm.Value.to_string (dw [| Int 7 |]))

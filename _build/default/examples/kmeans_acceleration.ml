@@ -1,0 +1,26 @@
+(* Active libraries via accelerator macros (paper Sec. 3.4): the same Mini
+   OptiML program, with and without Delite macros. *)
+
+module H = Optiml.Harness
+module Exec = Delite.Exec
+
+let () =
+  let sz = { H.default_sizes with H.km_rows = 600; km_iters = 2 } in
+  let expect = H.reference H.Kmeans sz in
+  Printf.printf "k-means: %d points, %d dims, k=%d, %d iterations\n"
+    sz.H.km_rows sz.H.km_cols sz.H.km_k sz.H.km_iters;
+  List.iter
+    (fun cfg ->
+      let r, t = H.run H.Kmeans cfg sz in
+      Printf.printf "  %-34s %8.2f ms %s\n" (H.config_name cfg) (t *. 1000.0)
+        (if Float.abs (r -. expect) < 1e-6 *. (1. +. Float.abs expect) then "ok"
+         else "WRONG"))
+    [
+      H.Library;
+      H.Lancet_delite Exec.Seq;
+      H.Lancet_delite (Exec.Sim 8);
+      H.Lancet_delite (Exec.Gpu Exec.default_gpu);
+      H.Delite_standalone (Exec.Sim 8);
+      H.Cpp Exec.Seq;
+    ];
+  print_endline "\n(parallel rows use the measured-chunk scaling model; see EXPERIMENTS.md)"

@@ -1,0 +1,40 @@
+(* Language-embedded queries (paper Sec. 3.5): SQL generation, shared
+   aggregates, and query-avalanche avoidance. *)
+
+open Query
+
+let () =
+  let items =
+    make_table ~name:"t_item" ~cols:[ "id"; "price" ]
+      ~rows:(List.init 5 (fun i -> [| S_int i; S_int (i * 10) |]))
+  in
+  let orders =
+    make_table ~name:"t_order" ~cols:[ "oid"; "item" ]
+      ~rows:(List.init 12 (fun i -> [| S_int (100 + i); S_int (i mod 5) |]))
+  in
+  let q = Filter (Scan items, P_cmp ("price", Cgt, S_int 0)) in
+  Printf.printf "query:      %s\n" (to_sql q);
+  Printf.printf "as count:   %s\n" (agg_sql (Count q));
+  Printf.printf "as sum:     %s\n\n" (agg_sql (Sum (q, "price")));
+
+  reset_scans q;
+  ignore (count q);
+  ignore (sum q "price");
+  Printf.printf "naive count+sum executed the query %d times\n" (scans_of q);
+  reset_scans q;
+  let s = share q in
+  Printf.printf "shared count=%d sum=%g with %d execution(s)\n\n"
+    (shared_count s) (shared_sum s "price")
+    (scans_of q + 1 - 1 |> fun _ -> ignore (shared_count s); scans_of q);
+
+  let inner = Scan orders in
+  reset_scans inner;
+  ignore (nested_naive ~outer:(Scan items) ~inner ~inner_key:"item" ~outer_key:"id");
+  Printf.printf "query avalanche: nested loop issued %d order queries\n"
+    (scans_of inner);
+  reset_scans inner;
+  let joined =
+    nested_indexed ~outer:(Scan items) ~inner ~inner_key:"item" ~outer_key:"id"
+  in
+  Printf.printf "with groupBy index: %d order scan(s), same %d result groups\n"
+    (scans_of inner) (List.length joined)

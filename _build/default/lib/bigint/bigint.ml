@@ -1,0 +1,174 @@
+(* Arbitrary-precision signed integers (sign-magnitude, base 2^24 limbs),
+   built from scratch: the container has no zarith, and SafeInt (paper
+   Sec. 3.2) needs a BigInteger substrate for its overflow slow path. *)
+
+type t = {
+  sign : int; (* -1, 0, +1; zero has sign 0 and no limbs *)
+  mag : int array; (* little-endian limbs, no trailing zeros *)
+}
+
+let base_bits = 24
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int (x : int) : t =
+  if x = 0 then zero
+  else begin
+    let sign = if x < 0 then -1 else 1 in
+    let x = abs x in
+    let rec limbs x = if x = 0 then [] else (x land base_mask) :: limbs (x lsr base_bits) in
+    { sign; mag = Array.of_list (limbs x) }
+  end
+
+let to_int_opt (x : t) : int option =
+  let rec go i acc =
+    if i < 0 then Some acc
+    else
+      let acc' = (acc * base) + x.mag.(i) in
+      if acc' < acc then None (* overflow *) else go (i - 1) acc'
+  in
+  if x.sign = 0 then Some 0
+  else
+    match go (Array.length x.mag - 1) 0 with
+    | Some m when m >= 0 -> Some (x.sign * m)
+    | _ -> None
+
+(* unsigned magnitude comparison *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare_big (a : t) (b : t) : int =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign = 0 then 0
+  else a.sign * cmp_mag a.mag b.mag
+
+let equal a b = compare_big a b = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  out
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  out
+
+let neg (x : t) : t = { x with sign = -x.sign }
+
+let rec add (a : t) (b : t) : t =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+
+and sub (a : t) (b : t) : t = add a (neg b)
+
+let mul (a : t) (b : t) : t =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let v = out.(i + j) + (a.mag.(i) * b.mag.(j)) + !carry in
+        out.(i + j) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let v = out.(!k) + !carry in
+        out.(!k) <- v land base_mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    normalize (a.sign * b.sign) out
+  end
+
+(* division of magnitude by a small int, returning (quotient limbs, rem) *)
+let divmod_small mag d =
+  let n = Array.length mag in
+  let out = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor mag.(i) in
+    out.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (out, !rem)
+
+let to_string (x : t) : string =
+  if x.sign = 0 then "0"
+  else begin
+    let digits = Buffer.create 32 in
+    let mag = ref x.mag in
+    while Array.length !mag > 0 && cmp_mag !mag [||] > 0 do
+      let q, r = divmod_small !mag 10 in
+      Buffer.add_char digits (Char.chr (Char.code '0' + r));
+      mag := (normalize 1 q).mag
+    done;
+    let s = Buffer.contents digits in
+    let b = Buffer.create (String.length s + 1) in
+    if x.sign < 0 then Buffer.add_char b '-';
+    for i = String.length s - 1 downto 0 do
+      Buffer.add_char b s.[i]
+    done;
+    Buffer.contents b
+  end
+
+let of_string (s : string) : t =
+  let s = String.trim s in
+  if s = "" then invalid_arg "Bigint.of_string";
+  let sign, start = if s.[0] = '-' then (-1, 1) else (1, 0) in
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to String.length s - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp ppf x = Format.fprintf ppf "%s" (to_string x)

@@ -1,0 +1,35 @@
+(** Arbitrary-precision signed integers (sign-magnitude, base-2{^24} limbs).
+
+    Built from scratch as the substrate for SafeInt's overflow slow path
+    (paper Sec. 3.2), since the environment provides no zarith. *)
+
+type t
+(** An arbitrary-precision integer.  Values are normalized: zero has a
+    unique representation and magnitudes carry no trailing zero limbs. *)
+
+val zero : t
+
+val of_int : int -> t
+(** [of_int n] represents the OCaml integer [n] exactly. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in an OCaml [int]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val compare_big : t -> t -> int
+(** Total order compatible with integer order. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Decimal rendering, e.g. ["-1267650600228229401496703205376"]. *)
+
+val of_string : string -> t
+(** Parses an optionally [-]-signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

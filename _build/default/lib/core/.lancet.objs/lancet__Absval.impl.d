@@ -1,0 +1,1 @@
+lib/core/absval.ml: Format Vm

@@ -1,0 +1,1 @@
+lib/core/absval.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/core/api.ml: Absval Array Compiler Errors Hashtbl List Lms String Vm

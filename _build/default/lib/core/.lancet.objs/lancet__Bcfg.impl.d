@@ -1,0 +1,1 @@
+lib/core/bcfg.ml: Array Hashtbl List Vm

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Absval Array Bcfg Errors Fun Hashtbl Int List Lms Map Obj Option Printf String Vm

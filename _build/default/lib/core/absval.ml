@@ -1,0 +1,64 @@
+(* The abstract-value domain of paper Sec. 2.2:
+
+     Const    — compile-time primitive constant
+     Static   — preexisting heap object/array with known identity
+     Partial  — object allocated (virtually) in compiled code: a map of
+                abstract fields, no residual allocation yet
+     Known    — dynamic object of exactly known class (e.g. after
+                materialization): still enables devirtualization
+     Unknown  — anything
+
+   Abstract information is attached to IR symbols and accessed uniformly
+   through [evalA] (in [Compiler]). *)
+
+type t =
+  | Const of Vm.Types.value (* Int/Float/Str/Null only *)
+  | Static of Vm.Types.obj
+  | StaticArr of Vm.Types.value (* Arr or Farr, identity known *)
+  | Partial of int * Vm.Types.cls (* virtual object id, exact class *)
+  | Known of Vm.Types.cls
+  | Unknown
+
+let pp ppf = function
+  | Const v -> Format.fprintf ppf "Const(%a)" Vm.Value.pp v
+  | Static o -> Format.fprintf ppf "Static(%s#%d)" o.Vm.Types.ocls.Vm.Types.cname o.Vm.Types.oid
+  | StaticArr _ -> Format.fprintf ppf "StaticArr"
+  | Partial (vid, c) -> Format.fprintf ppf "Partial(v%d:%s)" vid c.Vm.Types.cname
+  | Known c -> Format.fprintf ppf "Known(%s)" c.Vm.Types.cname
+  | Unknown -> Format.fprintf ppf "Unknown"
+
+let to_string a = Format.asprintf "%a" pp a
+
+let equal a b =
+  match a, b with
+  | Const x, Const y -> Vm.Value.equal x y
+  | Static x, Static y -> x.Vm.Types.oid = y.Vm.Types.oid
+  | StaticArr x, StaticArr y -> x == y
+  | Partial (x, _), Partial (y, _) -> x = y
+  | Known x, Known y -> x.Vm.Types.cid = y.Vm.Types.cid
+  | Unknown, Unknown -> true
+  | (Const _ | Static _ | StaticArr _ | Partial _ | Known _ | Unknown), _ ->
+    false
+
+(* class of the value an abstract value denotes, when exactly known *)
+let exact_class = function
+  | Static o -> Some o.Vm.Types.ocls
+  | Partial (_, c) -> Some c
+  | Known c -> Some c
+  | Const _ | StaticArr _ | Unknown -> None
+
+(* join used when merging control flow; Partial identities must already have
+   been reconciled by the caller (virtual objects join field-wise) *)
+let lub a b =
+  if equal a b then a
+  else
+    match exact_class a, exact_class b with
+    | Some ca, Some cb when ca.Vm.Types.cid = cb.Vm.Types.cid -> Known ca
+    | _ -> Unknown
+
+let const_of_value (v : Vm.Types.value) : t =
+  match v with
+  | Vm.Types.Null | Vm.Types.Int _ | Vm.Types.Float _ | Vm.Types.Str _ ->
+    Const v
+  | Vm.Types.Obj o -> Static o
+  | Vm.Types.Arr _ | Vm.Types.Farr _ -> StaticArr v

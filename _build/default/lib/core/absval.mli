@@ -1,0 +1,27 @@
+(** The abstract-value domain of paper Sec. 2.2, attached to IR symbols and
+    accessed uniformly through [Compiler.evalA]. *)
+
+type t =
+  | Const of Vm.Types.value  (** compile-time primitive constant *)
+  | Static of Vm.Types.obj  (** preexisting heap object, known identity *)
+  | StaticArr of Vm.Types.value  (** Arr/Farr with known identity *)
+  | Partial of int * Vm.Types.cls
+      (** virtual object (id, exact class): allocated in compiled code, not
+          yet materialized — partial escape analysis *)
+  | Known of Vm.Types.cls  (** dynamic object of exactly known class *)
+  | Unknown
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val exact_class : t -> Vm.Types.cls option
+(** The receiver class when exactly known — enables devirtualization. *)
+
+val lub : t -> t -> t
+(** Join at control-flow merges.  Partial identities must be reconciled by
+    the caller (virtual objects join field-wise). *)
+
+val const_of_value : Vm.Types.value -> t
+(** The abstract value of a runtime constant: primitives become [Const],
+    objects [Static], arrays [StaticArr]. *)

@@ -1,0 +1,28 @@
+(* Compile-time diagnostics.  Explicit compilation means the JIT can report
+   errors and warnings back to the running program (paper Sec. 1): failing to
+   specialize as demanded raises [Compile_error] instead of silently running
+   slow code. *)
+
+exception Compile_error of string
+
+let compile_error fmt =
+  Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type warning = { w_tag : string; w_msg : string }
+
+let warnings : warning list ref = ref []
+
+let warn tag fmt =
+  Format.kasprintf
+    (fun s -> warnings := { w_tag = tag; w_msg = s } :: !warnings)
+    fmt
+
+let take_warnings () =
+  let w = List.rev !warnings in
+  warnings := [];
+  w
+
+let () =
+  Printexc.register_printer (function
+    | Compile_error msg -> Some (Printf.sprintf "Compile_error: %s" msg)
+    | _ -> None)

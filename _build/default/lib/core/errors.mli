@@ -1,0 +1,18 @@
+(** Compile-time diagnostics.  Explicit compilation lets the JIT report
+    errors and warnings back to the running program (paper Sec. 1): failing
+    to specialize as demanded raises {!Compile_error} instead of silently
+    running slow code. *)
+
+exception Compile_error of string
+
+val compile_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Compile_error} with a formatted message. *)
+
+type warning = { w_tag : string; w_msg : string }
+
+val warn : string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record a warning under the given tag (e.g. ["devirtualize"],
+    ["likely"]). *)
+
+val take_warnings : unit -> warning list
+(** Drain accumulated warnings in emission order. *)

@@ -1,0 +1,1 @@
+lib/csvlib/gen.ml: Buffer List Printf Random String

@@ -1,0 +1,1 @@
+lib/csvlib/gen.mli:

@@ -1,0 +1,1 @@
+lib/csvlib/harness.ml: Lancet Mini Mini_src Native Unix Vm

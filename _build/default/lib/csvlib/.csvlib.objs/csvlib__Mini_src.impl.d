@@ -1,0 +1,1 @@
+lib/csvlib/mini_src.ml:

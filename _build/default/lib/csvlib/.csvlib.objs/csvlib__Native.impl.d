@@ -1,0 +1,1 @@
+lib/csvlib/native.ml: Array List String Vm

@@ -1,0 +1,35 @@
+(* Synthetic CSV data in the shape of the paper's Table 1 workload:
+   20 columns, of which 10 are accessed by name; one flag column. *)
+
+let cols = 20
+
+let header =
+  String.concat "," (List.init cols (fun i -> Printf.sprintf "K%d" i))
+
+(* deterministic PRNG so runs are reproducible *)
+let make_row rng =
+  let cell i =
+    if i = 5 then (if Random.State.int rng 4 = 0 then "yes" else "no")
+    else string_of_int (Random.State.int rng 1000)
+  in
+  String.concat "," (List.init cols cell)
+
+(* Generate approximately [bytes] of CSV (header + rows). *)
+let generate ~seed ~bytes =
+  let rng = Random.State.make [| seed |] in
+  let b = Buffer.create (bytes + 4096) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  while Buffer.length b < bytes do
+    Buffer.add_string b (make_row rng);
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let write_file ~path ~seed ~bytes =
+  let oc = open_out_bin path in
+  output_string oc (generate ~seed ~bytes);
+  close_out oc
+
+(* the ten columns the workload accesses by name *)
+let accessed_columns = [ "K2"; "K4"; "K6"; "K8"; "K10"; "K12"; "K14"; "K16"; "K18"; "K5" ]

@@ -1,0 +1,13 @@
+(** Synthetic CSV data in the shape of the paper's Table 1 workload:
+    20 columns, 10 of which the benchmark accesses by name. *)
+
+val cols : int
+val header : string
+
+val generate : seed:int -> bytes:int -> string
+(** Deterministic CSV text of approximately [bytes] bytes (header + rows). *)
+
+val write_file : path:string -> seed:int -> bytes:int -> unit
+
+val accessed_columns : string list
+(** The ten column names the workload reads per row. *)

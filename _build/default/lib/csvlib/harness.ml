@@ -1,0 +1,49 @@
+(* Table 1 harness: run the CSV workload in four configurations and time
+   them.  All configurations parse the same text and compute the same
+   checksum, which the caller can verify. *)
+
+type config =
+  | Native (* hand-written OCaml: the paper's "C++" row *)
+  | Interpreted (* generic library on the bytecode interpreter (extra row) *)
+  | Generic_compiled (* generic library, Lancet-compiled: "Scala Library" *)
+  | Specialized (* explicit compile+freeze: "Scala Lancet" *)
+
+let config_name = function
+  | Native -> "native OCaml (paper: C++)"
+  | Interpreted -> "bytecode interpreter"
+  | Generic_compiled -> "generic, Lancet-compiled (paper: Scala library)"
+  | Specialized -> "specialized via compile/freeze (paper: Scala Lancet)"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One runtime per configuration run; the program is loaded (and for the
+   compiled configurations, compiled) outside the timed region only for the
+   program text — compilation triggered by [Lancet.compile] runs inside, as
+   in the paper ("just in time"). *)
+let run (config : config) (text : string) : int * float =
+  match config with
+  | Native -> time (fun () -> Native.process_wrapped text)
+  | Interpreted ->
+    let rt = Vm.Natives.boot () in
+    let p = Mini.Front.load rt Mini_src.generic in
+    time (fun () ->
+        Vm.Value.to_int (Mini.Front.call p "run_generic" [| Str text |]))
+  | Generic_compiled ->
+    let rt = Lancet.Api.boot () in
+    let p = Mini.Front.load rt Mini_src.generic in
+    let clo = Mini.Front.call p "make_generic" [||] in
+    time (fun () ->
+        let compiled = Lancet.Compiler.compile_value rt clo in
+        Vm.Value.to_int
+          (Vm.Interp.call_closure rt compiled [| Str text |]))
+  | Specialized ->
+    let rt = Lancet.Api.boot () in
+    let p = Mini.Front.load rt Mini_src.specialized in
+    time (fun () ->
+        Vm.Value.to_int (Mini.Front.call p "run_specialized" [| Str text |]))
+
+(* reference result for checksums *)
+let reference text = Native.process_wrapped text

@@ -1,0 +1,17 @@
+(** Table 1 harness: the CSV workload in the paper's four configurations. *)
+
+type config =
+  | Native  (** hand-written OCaml — the paper's "C++" row *)
+  | Interpreted  (** generic library on the bytecode interpreter *)
+  | Generic_compiled  (** generic library, Lancet-compiled — "Scala Library" *)
+  | Specialized  (** explicit compile+freeze — "Scala Lancet" *)
+
+val config_name : config -> string
+
+val run : config -> string -> int * float
+(** [run config csv_text] returns (checksum, seconds).  Compilation
+    triggered by [Lancet.compile] runs inside the timed region, as in the
+    paper. *)
+
+val reference : string -> int
+(** The expected checksum, from the native implementation. *)

@@ -1,0 +1,14 @@
+(** Hand-written OCaml CSV processing — the "C++" row of Table 1: direct
+    column indices, no record abstraction, no name lookup. *)
+
+val accessed_indices : int array
+val flag_index : int
+
+val process : string -> int
+(** Native-int accumulation. *)
+
+val process_wrapped : string -> int
+(** Accumulation with the VM's 32-bit wrap semantics; this is the reference
+    the other configurations are checked against. *)
+
+val read_file : string -> string

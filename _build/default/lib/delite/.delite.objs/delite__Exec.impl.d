@@ -1,0 +1,1 @@
+lib/delite/exec.ml: Array Domain Float List Printf Unix

@@ -1,0 +1,1 @@
+lib/delite/rows.ml: Array Exec

@@ -1,0 +1,1 @@
+lib/delite/rows.mli: Exec

@@ -1,0 +1,1 @@
+lib/delite/scalar.ml: Array Float Format

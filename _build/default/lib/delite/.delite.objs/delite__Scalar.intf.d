@@ -1,0 +1,1 @@
+lib/delite/scalar.mli: Format

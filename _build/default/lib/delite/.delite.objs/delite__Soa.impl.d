@@ -1,0 +1,1 @@
+lib/delite/soa.ml: Array

@@ -1,0 +1,1 @@
+lib/delite/vec.ml: Array Exec Scalar

@@ -1,0 +1,1 @@
+lib/delite/vec.mli: Exec Scalar

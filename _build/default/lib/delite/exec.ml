@@ -1,0 +1,164 @@
+(* Execution engine: devices, parallel loops and the measured-chunk scaling
+   model.
+
+   [Domains n] runs chunks on real OCaml domains (fork-join) — used by tests
+   and on real multicore machines.  [Sim n] executes chunks sequentially,
+   measures each chunk's wall time, and reports the makespan of an LPT
+   schedule over [n] workers: on the single-core container this reproduces
+   the *shape* of the paper's 1/2/4/8-core sweeps from real measurements.
+   [Gpu m] executes sequentially for correctness and reports an analytic
+   SIMT model time — the paper's GPU column without the hardware (see
+   DESIGN.md / EXPERIMENTS.md for the substitution rationale). *)
+
+type gpu_model = {
+  throughput_factor : float; (* sustained speedup over one core *)
+  launch_overhead_s : float; (* per-kernel launch cost *)
+}
+
+let default_gpu = { throughput_factor = 48.0; launch_overhead_s = 40e-6 }
+
+type device =
+  | Seq
+  | Domains of int
+  | Sim of int (* measured-chunk LPT makespan over n modeled workers *)
+  | Gpu of gpu_model
+
+type timing = {
+  wall : float; (* actually elapsed seconds *)
+  modeled : float; (* reported seconds (= wall unless simulated) *)
+  chunks : int;
+}
+
+let device_name = function
+  | Seq -> "seq"
+  | Domains n -> Printf.sprintf "domains:%d" n
+  | Sim n -> Printf.sprintf "sim:%d" n
+  | Gpu _ -> "gpu(modeled)"
+
+let now () = Unix.gettimeofday ()
+
+(* global accounting: wall vs modeled seconds spent inside parallel ops,
+   used by harnesses to report modeled end-to-end times on the 1-core
+   container (reported = total_wall - ops_wall + ops_modeled) *)
+let ops_wall = ref 0.0
+let ops_modeled = ref 0.0
+
+let reset_stats () =
+  ops_wall := 0.0;
+  ops_modeled := 0.0
+
+let note_timing (t : float * float) =
+  let w, m = t in
+  ops_wall := !ops_wall +. w;
+  ops_modeled := !ops_modeled +. m
+
+(* split [0, n) into [chunks] contiguous ranges *)
+let ranges n chunks =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and extra = n mod chunks in
+  let rec go i lo acc =
+    if i >= chunks then List.rev acc
+    else
+      let len = base + (if i < extra then 1 else 0) in
+      go (i + 1) (lo + len) ((lo, lo + len) :: acc)
+  in
+  if n = 0 then [ (0, 0) ] else go 0 0 []
+
+(* longest-processing-time schedule: returns makespan for [workers] *)
+let lpt_makespan (times : float list) workers =
+  let sorted = List.sort (fun a b -> compare b a) times in
+  let loads = Array.make (max workers 1) 0.0 in
+  List.iter
+    (fun t ->
+      let best = ref 0 in
+      for i = 1 to Array.length loads - 1 do
+        if loads.(i) < loads.(!best) then best := i
+      done;
+      loads.(!best) <- loads.(!best) +. t)
+    sorted;
+  Array.fold_left Float.max 0.0 loads
+
+(* per-worker synchronization overhead added to modeled parallel time *)
+let sync_overhead_s = 8e-6
+
+(* Generic parallel fold over index ranges.
+   [init] creates a per-worker accumulator, [body lo hi acc] processes a
+   range into it, [combine] merges accumulators (combine order is
+   left-to-right over ascending ranges). *)
+let fold_ranges (type acc) (dev : device) ~(n : int)
+    ~(init : unit -> acc) ~(body : int -> int -> acc -> unit)
+    ~(combine : acc -> acc -> acc) : acc * timing =
+  match dev with
+  | Seq ->
+    let t0 = now () in
+    let acc = init () in
+    body 0 n acc;
+    let t = now () -. t0 in
+    note_timing (t, t);
+    (acc, { wall = t; modeled = t; chunks = 1 })
+  | Domains workers ->
+    let workers = max 1 workers in
+    let rs = ranges n workers in
+    let t0 = now () in
+    let doms =
+      List.map
+        (fun (lo, hi) ->
+          Domain.spawn (fun () ->
+              let acc = init () in
+              body lo hi acc;
+              acc))
+        rs
+    in
+    let accs = List.map Domain.join doms in
+    let t = now () -. t0 in
+    let acc =
+      match accs with
+      | [] -> init ()
+      | a :: rest -> List.fold_left combine a rest
+    in
+    note_timing (t, t);
+    (acc, { wall = t; modeled = t; chunks = List.length rs })
+  | Sim workers ->
+    let workers = max 1 workers in
+    (* more chunks than workers so LPT can balance *)
+    let rs = ranges n (workers * 4) in
+    let t0 = now () in
+    let timed =
+      List.map
+        (fun (lo, hi) ->
+          let c0 = now () in
+          let acc = init () in
+          body lo hi acc;
+          (acc, now () -. c0))
+        rs
+    in
+    let wall = now () -. t0 in
+    let acc =
+      match timed with
+      | [] -> init ()
+      | (a, _) :: rest -> List.fold_left (fun x (y, _) -> combine x y) a rest
+    in
+    let makespan = lpt_makespan (List.map snd timed) workers in
+    let modeled = makespan +. (float_of_int workers *. sync_overhead_s) in
+    note_timing (wall, modeled);
+    (acc, { wall; modeled; chunks = List.length rs })
+  | Gpu m ->
+    let t0 = now () in
+    let acc = init () in
+    body 0 n acc;
+    let wall = now () -. t0 in
+    let modeled = m.launch_overhead_s +. (wall /. m.throughput_factor) in
+    note_timing (wall, modeled);
+    (acc, { wall; modeled; chunks = 1 })
+
+(* parallel for: no accumulator, writes to disjoint output ranges *)
+let parallel_for dev ~n ~(body : int -> int -> unit) : timing =
+  let _, t =
+    fold_ranges dev ~n
+      ~init:(fun () -> ())
+      ~body:(fun lo hi () -> body lo hi)
+      ~combine:(fun () () -> ())
+  in
+  t
+
+let cpu_cores () = Domain.recommended_domain_count ()

@@ -1,0 +1,60 @@
+(** Execution engine: devices, parallel loops and the measured-chunk scaling
+    model used to reproduce the paper's multi-core sweeps on a single-core
+    container (see DESIGN.md for the substitution rationale). *)
+
+type gpu_model = {
+  throughput_factor : float;  (** sustained speedup over one core *)
+  launch_overhead_s : float;  (** per-kernel launch cost *)
+}
+
+val default_gpu : gpu_model
+
+type device =
+  | Seq  (** sequential execution, measured *)
+  | Domains of int  (** real fork-join on OCaml domains *)
+  | Sim of int
+      (** chunks run sequentially and are timed; reported time is the LPT
+          makespan over n modeled workers plus sync overhead *)
+  | Gpu of gpu_model
+      (** executes for real; reported time from the analytic SIMT model *)
+
+type timing = {
+  wall : float;  (** actually elapsed seconds *)
+  modeled : float;  (** reported seconds (= wall unless simulated) *)
+  chunks : int;
+}
+
+val device_name : device -> string
+val now : unit -> float
+
+(** {1 Global accounting}
+
+    Harnesses report [total_wall - ops_wall + ops_modeled] so that serial
+    glue is measured while parallel ops contribute modeled times. *)
+
+val ops_wall : float ref
+val ops_modeled : float ref
+val reset_stats : unit -> unit
+
+(** {1 Scheduling primitives} *)
+
+val ranges : int -> int -> (int * int) list
+(** [ranges n chunks] splits [\[0, n)] into contiguous half-open ranges. *)
+
+val lpt_makespan : float list -> int -> float
+(** Longest-processing-time schedule makespan of the given chunk times over
+    [workers] workers. *)
+
+val fold_ranges :
+  device ->
+  n:int ->
+  init:(unit -> 'acc) ->
+  body:(int -> int -> 'acc -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc * timing
+(** Parallel fold: [init] makes a per-worker accumulator, [body lo hi acc]
+    processes a range into it, [combine] merges (ascending range order). *)
+
+val parallel_for : device -> n:int -> body:(int -> int -> unit) -> timing
+
+val cpu_cores : unit -> int

@@ -1,0 +1,73 @@
+(* Row-wise parallel operators (DeliteOpMapReduce over matrix rows, Fig. 8):
+   a map producing per-row vectors, reduced with vector accumulation into a
+   per-worker accumulator, combined at the end — the pattern behind the
+   paper's OptiML [sum]/[sumRows]. *)
+
+(* sum over i in [start, stop) of block(i), where block accumulates a
+   [size]-vector into the provided buffer *)
+let sum_rows ~dev ~start ~stop ~size
+    ~(block : int -> float array -> unit) : float array * Exec.timing =
+  let n = stop - start in
+  Exec.fold_ranges dev ~n
+    ~init:(fun () -> Array.make size 0.0)
+    ~body:(fun lo hi acc ->
+      let tmp = Array.make size 0.0 in
+      for i = lo to hi - 1 do
+        Array.fill tmp 0 size 0.0;
+        block (start + i) tmp;
+        for j = 0 to size - 1 do
+          acc.(j) <- acc.(j) +. tmp.(j)
+        done
+      done)
+    ~combine:(fun a b ->
+      for j = 0 to Array.length a - 1 do
+        a.(j) <- a.(j) +. b.(j)
+      done;
+      a)
+
+(* scalar-valued row reduction *)
+let sum_scalar ~dev ~start ~stop ~(f : int -> float) :
+    float * Exec.timing =
+  let n = stop - start in
+  let acc, t =
+    Exec.fold_ranges dev ~n
+      ~init:(fun () -> ref 0.0)
+      ~body:(fun lo hi acc ->
+        let a = ref !acc in
+        for i = lo to hi - 1 do
+          a := !a +. f (start + i)
+        done;
+        acc := !a)
+      ~combine:(fun a b ->
+        a := !a +. !b;
+        a)
+  in
+  (!acc, t)
+
+(* integer-keyed grouping: per-row key selection with vector accumulation
+   (used by k-means to accumulate per-cluster sums in one pass) *)
+let group_sum ~dev ~start ~stop ~groups ~size
+    ~(key : int -> int) ~(block : int -> float array -> int -> unit) :
+    float array array * int array * Exec.timing =
+  (* returns (per-group vector sums, per-group counts) *)
+  let n = stop - start in
+  let (sums, counts), t =
+    Exec.fold_ranges dev ~n
+      ~init:(fun () ->
+        (Array.init groups (fun _ -> Array.make size 0.0), Array.make groups 0))
+      ~body:(fun lo hi (sums, counts) ->
+        for i = lo to hi - 1 do
+          let g = key (start + i) in
+          block (start + i) sums.(g) g;
+          counts.(g) <- counts.(g) + 1
+        done)
+      ~combine:(fun (sa, ca) (sb, cb) ->
+        for g = 0 to groups - 1 do
+          for j = 0 to size - 1 do
+            sa.(g).(j) <- sa.(g).(j) +. sb.(g).(j)
+          done;
+          ca.(g) <- ca.(g) + cb.(g)
+        done;
+        (sa, ca))
+  in
+  (sums, counts, t)

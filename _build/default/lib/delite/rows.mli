@@ -1,0 +1,32 @@
+(** Row-wise parallel operators (the paper's DeliteOpMapReduce over matrix
+    rows, Fig. 8): per-row vector maps reduced by vector accumulation into
+    per-worker accumulators. *)
+
+val sum_rows :
+  dev:Exec.device ->
+  start:int ->
+  stop:int ->
+  size:int ->
+  block:(int -> float array -> unit) ->
+  float array * Exec.timing
+(** [sum_rows] computes Σ block(i) over [start, stop), where [block i buf]
+    writes row i's [size]-vector into [buf]. *)
+
+val sum_scalar :
+  dev:Exec.device ->
+  start:int ->
+  stop:int ->
+  f:(int -> float) ->
+  float * Exec.timing
+
+val group_sum :
+  dev:Exec.device ->
+  start:int ->
+  stop:int ->
+  groups:int ->
+  size:int ->
+  key:(int -> int) ->
+  block:(int -> float array -> int -> unit) ->
+  float array array * int array * Exec.timing
+(** Keyed accumulation in one pass: returns per-group vector sums and
+    per-group counts (used by k-means). *)

@@ -1,0 +1,101 @@
+(* Scalar expression kernels for Delite ops: the per-element bodies of
+   map/zip/reduce pipelines.  Kept first-order and symbolic so the fusion
+   pass can substitute producer bodies into consumers. *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type unop = Neg | Abs | Sqrt | Exp | Log | Sigmoid
+
+type t =
+  | Elem of int (* element of the i-th input array at the current index *)
+  | Idx (* the current index, as a float *)
+  | Konst of float
+  | Bin of binop * t * t
+  | Un of unop * t
+
+let rec pp ppf = function
+  | Elem i -> Format.fprintf ppf "in%d" i
+  | Idx -> Format.fprintf ppf "idx"
+  | Konst f -> Format.fprintf ppf "%g" f
+  | Bin (op, a, b) ->
+    let s =
+      match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+      | Min -> "min" | Max -> "max"
+    in
+    Format.fprintf ppf "(%a %s %a)" pp a s pp b
+  | Un (op, a) ->
+    let s =
+      match op with
+      | Neg -> "neg" | Abs -> "abs" | Sqrt -> "sqrt" | Exp -> "exp"
+      | Log -> "log" | Sigmoid -> "sigmoid"
+    in
+    Format.fprintf ppf "%s(%a)" s pp a
+
+let to_string e = Format.asprintf "%a" pp e
+
+let apply_bin op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let apply_un op a =
+  match op with
+  | Neg -> -.a
+  | Abs -> Float.abs a
+  | Sqrt -> sqrt a
+  | Exp -> exp a
+  | Log -> log a
+  | Sigmoid -> 1.0 /. (1.0 +. exp (-.a))
+
+(* substitute [subs.(i)] for [Elem i] — the heart of fusion *)
+let rec subst (subs : t array) = function
+  | Elem i -> subs.(i)
+  | Idx -> Idx
+  | Konst f -> Konst f
+  | Bin (op, a, b) -> Bin (op, subst subs a, subst subs b)
+  | Un (op, a) -> Un (op, subst subs a)
+
+(* constant folding *)
+let rec simplify = function
+  | Bin (op, a, b) -> (
+    match simplify a, simplify b with
+    | Konst x, Konst y -> Konst (apply_bin op x y)
+    | Konst 0.0, b when op = Add -> b
+    | a, Konst 0.0 when op = Add || op = Sub -> a
+    | a, Konst 1.0 when op = Mul || op = Div -> a
+    | Konst 1.0, b when op = Mul -> b
+    | a, b -> Bin (op, a, b))
+  | Un (op, a) -> (
+    match simplify a with
+    | Konst x -> Konst (apply_un op x)
+    | a -> Un (op, a))
+  | (Elem _ | Idx | Konst _) as e -> e
+
+(* Compile a kernel to an OCaml closure over (inputs, index): each node
+   becomes one closure, so fused kernels cost one traversal per element. *)
+let compile (e : t) : float array array -> int -> float =
+  let rec go = function
+    | Elem i -> fun ins idx -> ins.(i).(idx)
+    | Idx -> fun _ idx -> float_of_int idx
+    | Konst f -> fun _ _ -> f
+    | Bin (op, a, b) ->
+      let fa = go a and fb = go b in
+      let f = apply_bin op in
+      fun ins idx -> f (fa ins idx) (fb ins idx)
+    | Un (op, a) ->
+      let fa = go a in
+      let f = apply_un op in
+      fun ins idx -> f (fa ins idx)
+  in
+  go (simplify e)
+
+let rec max_input = function
+  | Elem i -> i
+  | Idx | Konst _ -> -1
+  | Bin (_, a, b) -> max (max_input a) (max_input b)
+  | Un (_, a) -> max_input a

@@ -1,0 +1,33 @@
+(** Scalar expression kernels: the per-element bodies of Delite map/zip/
+    reduce pipelines.  Symbolic, so the fusion pass can substitute producer
+    bodies into consumers. *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+type unop = Neg | Abs | Sqrt | Exp | Log | Sigmoid
+
+type t =
+  | Elem of int  (** element of the i-th input array at the current index *)
+  | Idx  (** the current index, as a float *)
+  | Konst of float
+  | Bin of binop * t * t
+  | Un of unop * t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val apply_bin : binop -> float -> float -> float
+val apply_un : unop -> float -> float
+
+val subst : t array -> t -> t
+(** [subst subs e] replaces [Elem i] with [subs.(i)] — the heart of
+    fusion. *)
+
+val simplify : t -> t
+(** Constant folding and identity elimination. *)
+
+val compile : t -> float array array -> int -> float
+(** [compile e inputs idx] evaluates [e]; one closure per node, so a fused
+    kernel costs a single traversal per element. *)
+
+val max_input : t -> int
+(** Largest [Elem] index mentioned, or [-1]. *)

@@ -1,0 +1,23 @@
+(* Array-of-struct to struct-of-array conversion — the "unwrapping the array
+   of tuples into two arrays" optimization the paper credits for the name
+   score speedup.  The generic representation pays one heap object per
+   element; the SoA form is two flat float arrays processed by fused loops. *)
+
+type aos = (float * float) array
+
+type soa = { fst_ : float array; snd_ : float array }
+
+let of_aos (a : aos) : soa =
+  let n = Array.length a in
+  let fst_ = Array.make n 0.0 and snd_ = Array.make n 0.0 in
+  Array.iteri
+    (fun i (x, y) ->
+      fst_.(i) <- x;
+      snd_.(i) <- y)
+    a;
+  { fst_; snd_ }
+
+let to_aos (s : soa) : aos =
+  Array.init (Array.length s.fst_) (fun i -> (s.fst_.(i), s.snd_.(i)))
+
+let length s = Array.length s.fst_

@@ -1,0 +1,10 @@
+(** Array-of-struct to struct-of-array conversion — the "unwrapping the
+    array of tuples into two arrays" optimization behind the paper's name
+    score speedup. *)
+
+type aos = (float * float) array
+type soa = { fst_ : float array; snd_ : float array }
+
+val of_aos : aos -> soa
+val to_aos : soa -> aos
+val length : soa -> int

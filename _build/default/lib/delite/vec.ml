@@ -1,0 +1,115 @@
+(* Symbolic vector pipelines with op fusion (the Delite IR for flat
+   data-parallel ops).  A pipeline of map/zip stages over input arrays is
+   fused into a single loop with one combined scalar kernel; map+reduce fuses
+   into a single traversal with no intermediate array — the two critical
+   optimizations the paper credits for Table 2 ("fusing computationally
+   heavy loops, less traversals and intermediate data allocations"). *)
+
+type t =
+  | Input of float array
+  | Map of t * Scalar.t (* body over Elem 0 = source element; may use Idx *)
+  | Zip of t * t * Scalar.t (* body over Elem 0, Elem 1 *)
+
+type reduction = { source : t; combine : Scalar.binop; init : float }
+
+let rec length = function
+  | Input a -> Array.length a
+  | Map (s, _) -> length s
+  | Zip (a, b, _) -> min (length a) (length b)
+
+(* a fused loop: one kernel over k input arrays *)
+type plan = { n : int; inputs : float array array; body : Scalar.t }
+
+(* statistics so tests and benches can assert fusion happened *)
+type stats = { stages : int; fused_loops : int }
+
+(* Lower a pipeline to a single fused plan.  Returns the plan and the number
+   of stages that were fused into it. *)
+let rec lower (v : t) : plan * int =
+  match v with
+  | Input a ->
+    ({ n = Array.length a; inputs = [| a |]; body = Scalar.Elem 0 }, 0)
+  | Map (src, body) ->
+    let p, k = lower src in
+    (* producer body replaces Elem 0 in the consumer *)
+    let body = Scalar.subst [| p.body |] body in
+    ({ p with body }, k + 1)
+  | Zip (a, b, body) ->
+    let pa, ka = lower a in
+    let pb, kb = lower b in
+    (* concatenate input lists, shifting pb's Elem indices *)
+    let shift = Array.length pa.inputs in
+    let rec shift_elems : Scalar.t -> Scalar.t = function
+      | Scalar.Elem i -> Scalar.Elem (i + shift)
+      | Scalar.Idx -> Scalar.Idx
+      | Scalar.Konst f -> Scalar.Konst f
+      | Scalar.Bin (op, x, y) -> Scalar.Bin (op, shift_elems x, shift_elems y)
+      | Scalar.Un (op, x) -> Scalar.Un (op, shift_elems x)
+    in
+    let body = Scalar.subst [| pa.body; shift_elems pb.body |] body in
+    ( {
+        n = min pa.n pb.n;
+        inputs = Array.append pa.inputs pb.inputs;
+        body;
+      },
+      ka + kb + 1 )
+
+(* Evaluate without fusion: one loop and one intermediate array per stage
+   (the unfused baseline for the ablation bench). *)
+let rec eval_unfused (v : t) : float array =
+  match v with
+  | Input a -> Array.copy a
+  | Map (src, body) ->
+    let s = eval_unfused src in
+    let k = Scalar.compile body in
+    Array.init (Array.length s) (fun i -> k [| s |] i)
+  | Zip (a, b, body) ->
+    let xa = eval_unfused a and xb = eval_unfused b in
+    let k = Scalar.compile body in
+    Array.init (min (Array.length xa) (Array.length xb)) (fun i -> k [| xa; xb |] i)
+
+let eval_unfused_reduce (r : reduction) : float =
+  let a = eval_unfused r.source in
+  Array.fold_left (fun acc x -> Scalar.apply_bin r.combine acc x) r.init a
+
+(* Fused execution on a device. *)
+let collect ~dev (v : t) : float array * Exec.timing =
+  let plan, _ = lower v in
+  let kern = Scalar.compile plan.body in
+  let out = Array.make plan.n 0.0 in
+  let timing =
+    Exec.parallel_for dev ~n:plan.n ~body:(fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- kern plan.inputs i
+        done)
+  in
+  (out, timing)
+
+let reduce ~dev (r : reduction) : float * Exec.timing =
+  let plan, _ = lower r.source in
+  let kern = Scalar.compile plan.body in
+  let op = Scalar.apply_bin r.combine in
+  let acc, timing =
+    Exec.fold_ranges dev ~n:plan.n
+      ~init:(fun () -> ref r.init)
+      ~body:(fun lo hi acc ->
+        let a = ref !acc in
+        for i = lo to hi - 1 do
+          a := op !a (kern plan.inputs i)
+        done;
+        acc := !a)
+      ~combine:(fun a b ->
+        a := op !a !b;
+        a)
+  in
+  (!acc, timing)
+
+let fusion_stats (v : t) : stats =
+  let _, k = lower v in
+  { stages = k; fused_loops = 1 }
+
+(* convenience constructors *)
+let input a = Input a
+let map v body = Map (v, body)
+let zip a b body = Zip (a, b, body)
+let sum v = { source = v; combine = Scalar.Add; init = 0.0 }

@@ -1,0 +1,42 @@
+(** Symbolic vector pipelines with op fusion: map/zip stages over input
+    arrays fuse into a single loop with one combined scalar kernel;
+    map+reduce fuses into one traversal with no intermediate array — the
+    optimizations the paper credits for Table 2. *)
+
+type t =
+  | Input of float array
+  | Map of t * Scalar.t  (** body over [Elem 0] = source element *)
+  | Zip of t * t * Scalar.t  (** body over [Elem 0], [Elem 1] *)
+
+type reduction = { source : t; combine : Scalar.binop; init : float }
+
+val length : t -> int
+
+type plan = { n : int; inputs : float array array; body : Scalar.t }
+(** A fused loop: one kernel over k input arrays. *)
+
+type stats = { stages : int; fused_loops : int }
+
+val lower : t -> plan * int
+(** Fuse the pipeline; also returns the number of stages that were fused. *)
+
+val eval_unfused : t -> float array
+(** Reference evaluation: one loop and one intermediate array per stage
+    (the unfused baseline for the ablation bench). *)
+
+val eval_unfused_reduce : reduction -> float
+
+val collect : dev:Exec.device -> t -> float array * Exec.timing
+(** Fused parallel execution producing the result array. *)
+
+val reduce : dev:Exec.device -> reduction -> float * Exec.timing
+(** Fused map+reduce: a single traversal, parallel per-worker accumulators. *)
+
+val fusion_stats : t -> stats
+
+(** Constructors. *)
+
+val input : float array -> t
+val map : t -> Scalar.t -> t
+val zip : t -> t -> Scalar.t -> t
+val sum : t -> reduction

@@ -1,0 +1,150 @@
+(* The remaining surgical-JIT use cases of paper Sec. 3.1-3.2, written as
+   Mini programs:
+
+   - code caching and on-demand compilation (calcJIT / calcHOT / makeJIT):
+     specialized versions of a two-argument function are compiled per first
+     argument, cached, and reused — hot-count profiling decides when;
+   - search trees with stable structure: the lookup of an immutable tree
+     whose root is compile-time static turns into branching code. *)
+
+let code_cache_source =
+  {|
+// a small open-addressing cache from int keys to compiled functions
+class FnCache {
+  val keys: array[int]
+  val vals: array[(int) -> int]
+  def init(n: int): unit = {
+    this.keys = new array[int](n);
+    val ks = this.keys;
+    for (i <- 0 until n) { ks[i] = -1 };
+    this.vals = new array[(int) -> int](n)
+  }
+  def slot(x: int): int = Math.iabs(x * 31) % this.keys.length
+  def get(x: int): (int) -> int = {
+    val i = this.slot(x);
+    if (this.keys[i] == x) this.vals[i] else null
+  }
+  def put(x: int, f: (int) -> int): unit = {
+    val i = this.slot(x);
+    this.keys[i] = x;
+    this.vals[i] = f
+  }
+}
+
+// the function to specialize: x controls an unrollable mixing loop
+def calc(x: int, y: int): int = {
+  var acc = y;
+  Lancet.ntimes(x, fun (i: int) => { acc = acc * 3 + i });
+  acc
+}
+
+// calcJIT (paper Sec. 3.1): compile-per-x with a code cache
+def make_calc_jit(): (int, int) -> int = {
+  val cache = new FnCache(64);
+  fun (x: int, y: int) => {
+    var f = cache.get(x);
+    if (f == null) {
+      f = Lancet.compile(fun (z: int) => calc(x, z));
+      cache.put(x, f)
+    };
+    f(y)
+  }
+}
+
+// calcHOT: only specialize once a particular x becomes hot
+def make_calc_hot(threshold: int): (int, int) -> int = {
+  val cache = new FnCache(64);
+  val counts = new array[int](64);
+  fun (x: int, y: int) => {
+    var f = cache.get(x);
+    if (f == null) {
+      val s = Math.iabs(x * 31) % 64;
+      counts[s] = counts[s] + 1;
+      if (counts[s] >= threshold) {
+        f = Lancet.compile(fun (z: int) => calc(x, z));
+        cache.put(x, f);
+        f(y)
+      } else { calc(x, y) }
+    } else { f(y) }
+  }
+}
+|}
+
+let tree_source =
+  {|
+// immutable search tree: the paper's coarse-grained stability option
+// ("declare only the root pointer stable and produce a new tree on each
+// update") — all fields are final, so a compile-time-static tree folds
+// into pure decision code.
+class Tree {
+  val key: int
+  val value: int
+  val left: Tree
+  val right: Tree
+  def init(key: int, value: int, left: Tree, right: Tree): unit = {
+    this.key = key; this.value = value; this.left = left; this.right = right
+  }
+}
+
+def tree_insert(t: Tree, k: int, v: int): Tree =
+  if (t == null) new Tree(k, v, null, null)
+  else if (k == t.key) new Tree(k, v, t.left, t.right)
+  else if (k < t.key) new Tree(t.key, t.value, tree_insert(t.left, k, v), t.right)
+  else new Tree(t.key, t.value, t.left, tree_insert(t.right, k, v))
+
+def tree_lookup(t: Tree, k: int): int =
+  if (t == null) 0 - 1
+  else if (k == t.key) t.value
+  else if (k < t.key) tree_lookup(t.left, k)
+  else tree_lookup(t.right, k)
+
+def build_tree(keys: array[int], values: array[int]): Tree = {
+  var t: Tree = null;
+  for (i <- 0 until keys.length) { t = tree_insert(t, keys[i], values[i]) };
+  t
+}
+
+// compile the lookup against a static tree: recursion over static nodes
+// unfolds completely (inline_always allows the recursive inlining)
+def make_lookup(t: Tree): (int) -> int =
+  Lancet.compile(fun (k: int) =>
+    Lancet.inline_always(fun () => tree_lookup(t, k)))
+
+// iterative lookup used for the generic (dynamic-tree) configuration
+def lookup_iter(t0: Tree, k: int): int = {
+  var t = t0;
+  var r = 0 - 1;
+  var go = true;
+  while (go) {
+    if (t == null) { go = false }
+    else if (k == t.key) { r = t.value; go = false }
+    else if (k < t.key) { t = t.left }
+    else { t = t.right }
+  };
+  r
+}
+
+var groot: Tree = null
+def set_root(t: Tree): unit = groot = t
+
+// generic compiled lookup: the tree stays a runtime data structure
+def make_lookup_generic(): (int) -> int =
+  Lancet.compile(fun (k: int) => lookup_iter(groot, k))
+
+// counting workload over a compiled lookup
+def count_hits(lookup: (int) -> int, probes: array[int]): int = {
+  var hits = 0;
+  for (i <- 0 until probes.length) {
+    if (lookup(probes[i]) >= 0) { hits = hits + 1 }
+  };
+  hits
+}
+|}
+
+let boot_code_cache () =
+  let rt = Lancet.Api.boot () in
+  (rt, Mini.Front.load rt code_cache_source)
+
+let boot_tree () =
+  let rt = Lancet.Api.boot () in
+  (rt, Mini.Front.load rt tree_source)

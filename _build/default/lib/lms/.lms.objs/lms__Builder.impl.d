@@ -1,0 +1,1 @@
+lib/lms/builder.ml: Hashtbl Ir Vm

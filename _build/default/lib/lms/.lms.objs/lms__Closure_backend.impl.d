@@ -1,0 +1,1 @@
+lib/lms/closure_backend.ml: Array Atomic Fun Hashtbl Ir List Printf Vm

@@ -1,0 +1,1 @@
+lib/lms/ir.ml: Array Buffer Hashtbl List Printf Vm

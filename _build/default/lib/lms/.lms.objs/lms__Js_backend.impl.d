@@ -1,0 +1,1 @@
+lib/lms/js_backend.ml: Array Buffer Closure_backend Float Format Hashtbl Ir List Pretty Printf String Vm

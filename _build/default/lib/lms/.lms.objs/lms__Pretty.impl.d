@@ -1,0 +1,1 @@
+lib/lms/pretty.ml: Array Format Ir List Printf String Vm

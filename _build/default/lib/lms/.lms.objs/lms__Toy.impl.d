@@ -1,0 +1,1 @@
+lib/lms/toy.ml: Array Builder Closure_backend Format Ir List Map Option Set String Vm

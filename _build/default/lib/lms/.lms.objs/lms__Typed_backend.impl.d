@@ -1,0 +1,1 @@
+lib/lms/typed_backend.ml: Array Atomic Closure_backend Fun Hashtbl Ir List Printf Vm

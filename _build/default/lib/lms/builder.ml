@@ -1,0 +1,106 @@
+(* Cursor-style graph construction: tracks a current block, hash-conses
+   constants globally and pure nodes per block.  This is the low-level
+   "reflect" layer; Lancet's smart constructors (constant folding through
+   [evalA]) sit on top. *)
+
+open Ir
+
+type t = {
+  g : graph;
+  mutable cur : block option;
+  consts : (string, sym) Hashtbl.t;
+  mutable cse : (string, sym) Hashtbl.t; (* scope: current block *)
+}
+
+let create ?name ~nparams () =
+  let g = create ?name ~nparams () in
+  let entry = new_block g in
+  g.entry <- entry.bid;
+  {
+    g;
+    cur = Some entry;
+    consts = Hashtbl.create 32;
+    cse = Hashtbl.create 32;
+  }
+
+let graph t = t.g
+
+let current t =
+  match t.cur with
+  | Some b -> b
+  | None -> invalid_arg "no current block (terminated?)"
+
+let in_dead_code t = t.cur = None
+
+(* Register a node that lives outside any block body (constants, params). *)
+let floating t op ty =
+  let s = fresh_sym t.g in
+  Hashtbl.replace t.g.nodes s { id = s; op; args = [||]; ty; eff = false };
+  s
+
+let const t (v : Vm.Types.value) =
+  let key = op_key (Konst v) [||] in
+  match Hashtbl.find_opt t.consts key with
+  | Some s -> s
+  | None ->
+    let ty =
+      match v with
+      | Vm.Types.Null -> Tobj
+      | Vm.Types.Int _ -> Tint
+      | Vm.Types.Float _ -> Tfloat
+      | Vm.Types.Str _ -> Tstr
+      | Vm.Types.Obj _ -> Tobj
+      | Vm.Types.Arr _ -> Tarr
+      | Vm.Types.Farr _ -> Tfarr
+    in
+    let s = floating t (Konst v) ty in
+    Hashtbl.replace t.consts key s;
+    s
+
+let param t i ty =
+  let key = "param:" ^ string_of_int i in
+  match Hashtbl.find_opt t.consts key with
+  | Some s -> s
+  | None ->
+    let s = floating t (Param i) ty in
+    Hashtbl.replace t.consts key s;
+    s
+
+let emit t op args ty =
+  let b = current t in
+  if op_effectful op then add_node t.g b ~op ~args ~ty
+  else begin
+    let key = op_key op args in
+    match Hashtbl.find_opt t.cse key with
+    | Some s -> s
+    | None ->
+      let s = add_node t.g b ~op ~args ~ty in
+      Hashtbl.replace t.cse key s;
+      s
+  end
+
+let new_block t = Ir.new_block t.g
+
+let switch_to t b =
+  t.cur <- Some b;
+  t.cse <- Hashtbl.create 32
+
+let terminate t term =
+  (match t.cur with
+  | Some b -> b.term <- term
+  | None -> ());
+  t.cur <- None
+
+(* Convenience wrappers used by tests and the toy compiler. *)
+let int t i = const t (Vm.Types.Int i)
+let iop t op a b = emit t (Iop op) [| a; b |] Tint
+let icmp t c a b = emit t (Icmp c) [| a; b |] Tbool
+let ret t s = terminate t (Ret s)
+let jump t blk args = terminate t (Jump { tblock = blk.bid; targs = args })
+
+let br t cond (bthen, athen) (belse, aelse) =
+  terminate t
+    (Br
+       ( cond,
+         { tblock = bthen.bid; targs = athen },
+         { tblock = belse.bid; targs = aelse } ))

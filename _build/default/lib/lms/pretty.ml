@@ -1,0 +1,108 @@
+(* Textual dumps of IR graphs, for tests, the CLI and debugging. *)
+
+open Ir
+
+type ext_printer = ext_op -> string option
+
+let ext_printers : ext_printer list ref = ref []
+
+let register_ext f = ext_printers := f :: !ext_printers
+
+let ext_name op =
+  let rec go = function
+    | [] -> "ext?"
+    | f :: rest -> ( match f op with Some s -> s | None -> go rest)
+  in
+  go !ext_printers
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstr -> "str"
+  | Tbool -> "bool"
+  | Tobj -> "obj"
+  | Tarr -> "arr"
+  | Tfarr -> "farr"
+  | Tunit -> "unit"
+  | Tany -> "any"
+
+let op_name = function
+  | Konst v -> Format.asprintf "const %a" Vm.Value.pp v
+  | Param i -> Printf.sprintf "param %d" i
+  | Bparam -> "bparam"
+  | Iop op -> Vm.Disasm.iop_name op
+  | Ineg -> "ineg"
+  | Fop op -> Vm.Disasm.fop_name op
+  | Fneg -> "fneg"
+  | I2f -> "i2f"
+  | F2i -> "f2i"
+  | Icmp c -> "icmp." ^ Vm.Disasm.cond_name c
+  | Fcmp c -> "fcmp." ^ Vm.Disasm.cond_name c
+  | IsNull -> "isnull"
+  | Getfield f -> Printf.sprintf "getfield %s.%s" f.Vm.Types.fowner f.Vm.Types.fname
+  | Putfield f -> Printf.sprintf "putfield %s.%s" f.Vm.Types.fowner f.Vm.Types.fname
+  | Getglobal i -> Printf.sprintf "getglobal %d" i
+  | Putglobal i -> Printf.sprintf "putglobal %d" i
+  | NewObj c -> "new " ^ c.Vm.Types.cname
+  | Newarr -> "newarr"
+  | Newfarr -> "newfarr"
+  | Aload -> "aload"
+  | Astore -> "astore"
+  | Faload -> "faload"
+  | Fastore -> "fastore"
+  | Alen -> "alen"
+  | CallStatic m ->
+    Printf.sprintf "call %s.%s" m.Vm.Types.mowner.Vm.Types.cname m.Vm.Types.mname
+  | CallVirtual (name, n) -> Printf.sprintf "callvirt %s/%d" name n
+  | CallClosure n -> Printf.sprintf "callclosure/%d" n
+  | Ext op -> ext_name op
+
+let pp_sym ppf s = Format.fprintf ppf "x%d" s
+
+let pp_args ppf args =
+  Array.iter (fun a -> Format.fprintf ppf " %a" pp_sym a) args
+
+let pp_node g ppf s =
+  let n = node g s in
+  match n.op with
+  | Konst v -> Format.fprintf ppf "%a" Vm.Value.pp v
+  | _ -> pp_sym ppf s
+
+let pp_target g ppf t =
+  Format.fprintf ppf "b%d(" t.tblock;
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf ", ";
+      pp_node g ppf a)
+    t.targs;
+  Format.fprintf ppf ")"
+
+let pp_term g ppf = function
+  | Ret s -> Format.fprintf ppf "ret %a" (pp_node g) s
+  | Jump t -> Format.fprintf ppf "jump %a" (pp_target g) t
+  | Br (c, t1, t2) ->
+    Format.fprintf ppf "br %a ? %a : %a" (pp_node g) c (pp_target g) t1
+      (pp_target g) t2
+  | Exit se ->
+    Format.fprintf ppf "exit[%s:%s]"
+      (match se.se_kind with `Interpret -> "interp" | `Recompile -> "recompile")
+      se.se_tag
+  | Unreachable msg -> Format.fprintf ppf "unreachable (%s)" msg
+
+let pp_block g ppf b =
+  Format.fprintf ppf "@[<v2>b%d(%s):" b.bid
+    (String.concat ", "
+       (List.map (fun (s, ty) -> Printf.sprintf "x%d:%s" s (ty_name ty)) b.params));
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "@,x%d = %s%a%s" n.id (op_name n.op) pp_args n.args
+        (if n.eff then " !" else ""))
+    (body_in_order b);
+  Format.fprintf ppf "@,%a@]" (pp_term g) b.term
+
+let pp_graph ppf g =
+  Format.fprintf ppf "@[<v>graph %s/%d (entry b%d):" g.name g.nparams g.entry;
+  List.iter (fun b -> Format.fprintf ppf "@,%a" (pp_block g) b) (reachable_blocks g);
+  Format.fprintf ppf "@]"
+
+let graph_to_string g = Format.asprintf "%a" pp_graph g

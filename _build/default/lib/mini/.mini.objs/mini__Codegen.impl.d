@@ -1,0 +1,1 @@
+lib/mini/codegen.ml: Ast Hashtbl List Option Printf Set String Typecheck Vm

@@ -1,0 +1,1 @@
+lib/mini/front.ml: Ast Codegen Format Parser Printexc Typecheck Vm

@@ -1,0 +1,1 @@
+lib/mini/typecheck.ml: Ast Hashtbl List Option Printf String

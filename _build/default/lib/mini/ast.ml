@@ -1,0 +1,92 @@
+(* Abstract syntax of Mini, the small Scala-flavoured source language in
+   which all the paper's example programs are written.  Programs are compiled
+   to VM bytecode by [Codegen]; they never run any other way, so Mini plays
+   the role scalac plays in the paper. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, col %d" p.line p.col
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tstring
+  | Tunit
+  | Tarray of ty
+  | Tfarray
+  | Tclass of string
+  | Tfun of ty list * ty
+  | Tnull (* type of the [null] literal; compatible with any reference *)
+
+let rec pp_ty ppf = function
+  | Tint -> Format.fprintf ppf "int"
+  | Tfloat -> Format.fprintf ppf "float"
+  | Tbool -> Format.fprintf ppf "bool"
+  | Tstring -> Format.fprintf ppf "string"
+  | Tunit -> Format.fprintf ppf "unit"
+  | Tarray t -> Format.fprintf ppf "array[%a]" pp_ty t
+  | Tfarray -> Format.fprintf ppf "farray"
+  | Tclass c -> Format.fprintf ppf "%s" c
+  | Tfun (args, r) ->
+    Format.fprintf ppf "(%a) -> %a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_ty)
+      args pp_ty r
+  | Tnull -> Format.fprintf ppf "null"
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or (* short-circuiting *)
+
+type unop = Not | Neg
+
+type expr = { desc : desc; pos : pos }
+
+and desc =
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Ebool of bool
+  | Enull
+  | Eident of string (* local, global, or class name (resolved by the checker) *)
+  | Ethis
+  | Elet of bool * string * ty option * expr (* mutable?, name, annot, init *)
+  | Eassign of expr * expr (* lvalue = rvalue *)
+  | Efield of expr * string
+  | Eindex of expr * expr
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eif of expr * expr * expr option
+  | Ewhile of expr * expr
+  | Efor of string * expr * expr * expr (* for (x <- a until b) body *)
+  | Eblock of expr list
+  | Ecall of expr * expr list (* f(args): top-level fn, closure, or intrinsic *)
+  | Emethod of expr * string * expr list (* e.m(args) or Class.m(args) *)
+  | Enew of string * expr list
+  | Enewarr of ty * expr (* new array[ty](n); ty = Tfarray for new farray(n) *)
+  | Elambda of (string * ty) list * expr
+
+type member =
+  | Mfield of bool * string * ty (* final?, name, type *)
+  | Mmethod of string * (string * ty) list * ty * expr
+
+type decl =
+  | Dclass of string * string option * member list * pos
+  | Dfun of string * (string * ty) list * ty * expr * pos
+  | Dglobal of bool * string * ty option * expr * pos (* mutable? *)
+
+type program = decl list
+
+exception Syntax_error of pos * string
+exception Type_error of pos * string
+
+let syntax_error pos fmt =
+  Format.kasprintf (fun s -> raise (Syntax_error (pos, s))) fmt
+
+let type_error pos fmt =
+  Format.kasprintf (fun s -> raise (Type_error (pos, s))) fmt

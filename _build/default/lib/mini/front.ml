@@ -1,0 +1,41 @@
+(* Front-end driver: source text -> parsed -> typed -> bytecode in a runtime.
+   [load] plays the role scalac + class loading play in the paper. *)
+
+type program = Codegen.compiled_program
+
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Ast.Syntax_error (pos, msg) ->
+      Some (Format.asprintf "Syntax error at %a: %s" Ast.pp_pos pos msg)
+    | Ast.Type_error (pos, msg) ->
+      Some (Format.asprintf "Type error at %a: %s" Ast.pp_pos pos msg)
+    | _ -> None)
+
+let load rt (src : string) : program =
+  let parsed = Parser.parse_program src in
+  let typed = Typecheck.check_program parsed in
+  Codegen.compile_typed rt typed
+
+(* Parse + typecheck only (for tests and tooling). *)
+let typecheck (src : string) : Typecheck.tprogram =
+  Typecheck.check_program (Parser.parse_program src)
+
+let find_function = Codegen.find_function
+
+let call = Codegen.call_function
+
+(* Convenience: boot a fresh runtime, load [src], call [fname]. *)
+let run_function ?(args = [||]) (src : string) (fname : string) :
+    Vm.Types.runtime * Vm.Types.value =
+  let rt = Vm.Natives.boot () in
+  let p = load rt src in
+  (rt, call p fname args)
+
+(* Run [fname] and capture everything it prints. *)
+let run_capture ?(args = [||]) (src : string) (fname : string) :
+    string * Vm.Types.value =
+  let rt = Vm.Natives.boot () in
+  let p = load rt src in
+  Vm.Runtime.capture_output rt (fun () -> call p fname args)

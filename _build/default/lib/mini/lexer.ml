@@ -1,0 +1,214 @@
+(* Hand-written lexer for Mini.  Tracks line/column positions; supports
+   line (// ...) and block comments, string escapes, int and float literals. *)
+
+open Ast
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW of string (* keywords *)
+  | PUNCT of string (* operators and delimiters *)
+  | EOF
+
+let keywords =
+  [
+    "class"; "extends"; "def"; "val"; "var"; "if"; "else"; "while"; "for";
+    "until"; "new"; "fun"; "true"; "false"; "null"; "this"; "array"; "farray";
+    "int"; "float"; "bool"; "string"; "unit";
+  ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_pos : pos;
+}
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "<eof>"
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let current_pos lx = { line = lx.line; col = lx.col }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_trivia lx
+  | Some '/' when peek_char2 lx = Some '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_trivia lx
+  | Some '/' when peek_char2 lx = Some '*' ->
+    let start = current_pos lx in
+    advance lx;
+    advance lx;
+    let rec go () =
+      match peek_char lx, peek_char2 lx with
+      | Some '*', Some '/' ->
+        advance lx;
+        advance lx
+      | Some _, _ ->
+        advance lx;
+        go ()
+      | None, _ -> syntax_error start "unterminated block comment"
+    in
+    go ();
+    skip_trivia lx
+  | _ -> ()
+
+let lex_string lx =
+  let start = current_pos lx in
+  advance lx (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek_char lx with
+    | None -> syntax_error start "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek_char lx with
+      | Some 'n' -> Buffer.add_char b '\n'; advance lx; go ()
+      | Some 't' -> Buffer.add_char b '\t'; advance lx; go ()
+      | Some 'r' -> Buffer.add_char b '\r'; advance lx; go ()
+      | Some '\\' -> Buffer.add_char b '\\'; advance lx; go ()
+      | Some '"' -> Buffer.add_char b '"'; advance lx; go ()
+      | Some c -> syntax_error (current_pos lx) "bad escape '\\%c'" c
+      | None -> syntax_error start "unterminated string literal")
+    | Some c ->
+      Buffer.add_char b c;
+      advance lx;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents b)
+
+let lex_number lx =
+  let b = Buffer.create 8 in
+  let rec digits () =
+    match peek_char lx with
+    | Some c when is_digit c ->
+      Buffer.add_char b c;
+      advance lx;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float =
+    match peek_char lx, peek_char2 lx with
+    | Some '.', Some c when is_digit c ->
+      Buffer.add_char b '.';
+      advance lx;
+      digits ();
+      true
+    | _ -> false
+  in
+  let is_float =
+    match peek_char lx with
+    | Some ('e' | 'E') ->
+      Buffer.add_char b 'e';
+      advance lx;
+      (match peek_char lx with
+      | Some ('+' | '-' as c) ->
+        Buffer.add_char b c;
+        advance lx
+      | _ -> ());
+      digits ();
+      true
+    | _ -> is_float
+  in
+  let s = Buffer.contents b in
+  if is_float then FLOAT (float_of_string s) else INT (int_of_string s)
+
+let two_char_puncts =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "=>"; "<-"; "->" ]
+
+let lex_token lx =
+  skip_trivia lx;
+  lx.tok_pos <- current_pos lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some '"' -> lex_string lx
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_ident_start c ->
+    let b = Buffer.create 8 in
+    let rec go () =
+      match peek_char lx with
+      | Some c when is_ident_char c ->
+        Buffer.add_char b c;
+        advance lx;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    let s = Buffer.contents b in
+    if List.mem s keywords then KW s else IDENT s
+  | Some c -> (
+    let two =
+      match peek_char2 lx with
+      | Some c2 -> Printf.sprintf "%c%c" c c2
+      | None -> ""
+    in
+    if List.mem two two_char_puncts then begin
+      advance lx;
+      advance lx;
+      PUNCT two
+    end
+    else
+      match c with
+      | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '+' | '-'
+      | '*' | '/' | '%' | '<' | '>' | '=' | '!' ->
+        advance lx;
+        PUNCT (String.make 1 c)
+      | _ -> syntax_error (current_pos lx) "unexpected character '%c'" c)
+
+let create src =
+  let lx =
+    { src; pos = 0; line = 1; col = 1; tok = EOF; tok_pos = no_pos }
+  in
+  lx.tok <- lex_token lx;
+  lx
+
+let peek lx = lx.tok
+let pos lx = lx.tok_pos
+
+let next lx =
+  let t = lx.tok in
+  lx.tok <- lex_token lx;
+  t
+
+(* Lex a whole string into a token list (used by lexer unit tests). *)
+let tokens_of_string src =
+  let lx = create src in
+  let rec go acc =
+    match next lx with EOF -> List.rev (EOF :: acc) | t -> go (t :: acc)
+  in
+  go []

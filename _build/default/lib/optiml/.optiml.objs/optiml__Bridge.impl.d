@@ -1,0 +1,1 @@
+lib/optiml/bridge.ml: Array Delite Hashtbl Lancet Lms Printf Vm

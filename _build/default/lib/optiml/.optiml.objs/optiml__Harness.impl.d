@@ -1,0 +1,1 @@
+lib/optiml/harness.ml: Array Bridge Delite Lancet Macros Mini Mini_lib Reference Unix Vm

@@ -1,0 +1,1 @@
+lib/optiml/harness.mli: Delite

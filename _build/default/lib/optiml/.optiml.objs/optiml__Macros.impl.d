@@ -1,0 +1,1 @@
+lib/optiml/macros.ml: Array Bridge Lancet Lms Vm

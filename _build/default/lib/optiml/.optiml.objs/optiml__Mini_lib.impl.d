@@ -1,0 +1,1 @@
+lib/optiml/mini_lib.ml:

@@ -1,0 +1,1 @@
+lib/optiml/reference.ml: Array Char Delite Exec Random Rows String

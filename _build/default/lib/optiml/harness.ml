@@ -1,0 +1,161 @@
+(* Table 2 harness.  Each configuration runs the same application and
+   produces (checksum, reported seconds).  On the 1-core container, parallel
+   devices are [Sim n]: the work runs for real, per-chunk times are measured,
+   and the reported time is  total_wall - ops_wall + ops_modeled  (serial
+   glue measured as-is, parallel ops at their modeled makespan). *)
+
+open Vm.Types
+module Exec = Delite.Exec
+
+type app = Kmeans | Logreg | Namescore
+
+type config =
+  | Library (* Mini library, Lancet-compiled, no macros: "Scala library" *)
+  | Lancet_delite of Exec.device (* macros + Delite: "Lancet-Delite" *)
+  | Delite_standalone of Exec.device (* direct Delite: "Delite" *)
+  | Manual_opt of Exec.device (* logreg only: "Delite (manual opt)" *)
+  | Cpp of Exec.device (* native fused kernels: "C++" *)
+
+let config_name = function
+  | Library -> "library (Mini, Lancet-compiled)"
+  | Lancet_delite d -> "Lancet-Delite @ " ^ Exec.device_name d
+  | Delite_standalone d -> "Delite @ " ^ Exec.device_name d
+  | Manual_opt d -> "Delite manual-opt @ " ^ Exec.device_name d
+  | Cpp d -> "native @ " ^ Exec.device_name d
+
+(* problem sizes (kept small enough for the 1-core container; override for
+   bigger runs) *)
+type sizes = {
+  km_rows : int;
+  km_cols : int;
+  km_k : int;
+  km_iters : int;
+  lr_rows : int;
+  lr_cols : int;
+  lr_iters : int;
+  ns_n : int;
+}
+
+let default_sizes =
+  {
+    km_rows = 1200;
+    km_cols = 8;
+    km_k = 4;
+    km_iters = 3;
+    lr_rows = 1500;
+    lr_cols = 10;
+    lr_iters = 3;
+    ns_n = 20_000;
+  }
+
+let checksum (a : float array) = Array.fold_left ( +. ) 0.0 a
+
+let timed_with_model f =
+  Exec.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let reported = wall -. !Exec.ops_wall +. !Exec.ops_modeled in
+  (r, reported)
+
+(* Mini-side runs: load the program, fetch the app thunk, Lancet-compile it
+   (with or without accelerator macros) and execute. *)
+let run_mini ~(macros : bool) ~(dev : Exec.device) (app : app) (sz : sizes) :
+    float * float =
+  let rt = Lancet.Api.boot () in
+  if macros then Macros.install rt;
+  Bridge.device := dev;
+  let p = Mini.Front.load rt Mini_lib.all in
+  let thunk =
+    match app with
+    | Kmeans ->
+      let data =
+        Reference.Data.kmeans_data ~seed:11 ~rows:sz.km_rows ~cols:sz.km_cols
+          ~k:sz.km_k
+      in
+      Mini.Front.call p "make_kmeans"
+        [| Farr data; Int sz.km_rows; Int sz.km_cols; Int sz.km_k; Int sz.km_iters |]
+    | Logreg ->
+      let x, y = Reference.Data.logreg_data ~seed:12 ~rows:sz.lr_rows ~cols:sz.lr_cols in
+      Mini.Front.call p "make_logreg"
+        [| Farr x; Int sz.lr_rows; Int sz.lr_cols; Farr y; Int sz.lr_iters; Float 0.05 |]
+    | Namescore ->
+      let names = Reference.Data.names ~seed:13 ~n:sz.ns_n in
+      Mini.Front.call p "make_namescore"
+        [| Arr (Array.map (fun s -> Str s) names) |]
+  in
+  let compiled = Lancet.Compiler.compile_value rt thunk in
+  timed_with_model (fun () ->
+      match Vm.Interp.call_closure rt compiled [||] with
+      | Farr out -> checksum out
+      | Float f -> f
+      | v -> vm_error "unexpected result %s" (Vm.Value.to_string v))
+
+let run (app : app) (config : config) (sz : sizes) : float * float =
+  match config with
+  | Library -> run_mini ~macros:false ~dev:Exec.Seq app sz
+  | Lancet_delite dev -> run_mini ~macros:true ~dev app sz
+  | Delite_standalone dev | Manual_opt dev | Cpp dev -> (
+    match app with
+    | Kmeans ->
+      let data =
+        Reference.Data.kmeans_data ~seed:11 ~rows:sz.km_rows ~cols:sz.km_cols
+          ~k:sz.km_k
+      in
+      timed_with_model (fun () ->
+          match config with
+          | Delite_standalone _ ->
+            let c, _ =
+              Reference.Standalone.kmeans ~dev ~data ~rows:sz.km_rows
+                ~cols:sz.km_cols ~k:sz.km_k ~iters:sz.km_iters
+            in
+            checksum c
+          | _ ->
+            (* native fused single pass, chunked on the device *)
+            checksum
+              (Reference.Native.kmeans_par ~dev ~data ~rows:sz.km_rows
+                 ~cols:sz.km_cols ~k:sz.km_k ~iters:sz.km_iters))
+    | Logreg ->
+      let x, y = Reference.Data.logreg_data ~seed:12 ~rows:sz.lr_rows ~cols:sz.lr_cols in
+      timed_with_model (fun () ->
+          match config with
+          | Delite_standalone _ ->
+            let w, _ =
+              Reference.Standalone.logreg ~dev ~data:x ~rows:sz.lr_rows
+                ~cols:sz.lr_cols ~y ~iters:sz.lr_iters ~alpha:0.05
+            in
+            checksum w
+          | Manual_opt _ ->
+            let w, _ =
+              Reference.Standalone.logreg_manual ~dev ~data:x ~rows:sz.lr_rows
+                ~cols:sz.lr_cols ~y ~iters:sz.lr_iters ~alpha:0.05
+            in
+            checksum w
+          | _ ->
+            checksum
+              (Reference.Native.logreg_par ~dev ~data:x ~rows:sz.lr_rows
+                 ~cols:sz.lr_cols ~y ~iters:sz.lr_iters ~alpha:0.05))
+    | Namescore ->
+      let names = Reference.Data.names ~seed:13 ~n:sz.ns_n in
+      timed_with_model (fun () ->
+          let r, _ = Reference.Standalone.namescore ~dev names in
+          r))
+
+(* reference checksums for validation *)
+let reference (app : app) (sz : sizes) : float =
+  match app with
+  | Kmeans ->
+    let data =
+      Reference.Data.kmeans_data ~seed:11 ~rows:sz.km_rows ~cols:sz.km_cols
+        ~k:sz.km_k
+    in
+    checksum
+      (Reference.Native.kmeans ~data ~rows:sz.km_rows ~cols:sz.km_cols
+         ~k:sz.km_k ~iters:sz.km_iters)
+  | Logreg ->
+    let x, y = Reference.Data.logreg_data ~seed:12 ~rows:sz.lr_rows ~cols:sz.lr_cols in
+    checksum
+      (Reference.Native.logreg ~data:x ~rows:sz.lr_rows ~cols:sz.lr_cols ~y
+         ~iters:sz.lr_iters ~alpha:0.05)
+  | Namescore ->
+    Reference.Native.namescore (Reference.Data.names ~seed:13 ~n:sz.ns_n)

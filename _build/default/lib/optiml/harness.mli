@@ -1,0 +1,35 @@
+(** Table 2 harness: runs each application (k-means, logistic regression,
+    name score) in every configuration of the paper's Table 2 and reports
+    (checksum, seconds).  On the 1-core container, parallel devices are
+    [Exec.Sim]: kernels run for real and the reported time is
+    [total_wall - ops_wall + ops_modeled]. *)
+
+type app = Kmeans | Logreg | Namescore
+
+type config =
+  | Library  (** Mini library, Lancet-compiled, no macros — "Scala library" *)
+  | Lancet_delite of Delite.Exec.device  (** accelerator macros + Delite *)
+  | Delite_standalone of Delite.Exec.device  (** app written against Delite *)
+  | Manual_opt of Delite.Exec.device  (** logreg only — "Delite (manual opt)" *)
+  | Cpp of Delite.Exec.device  (** native fused kernels — "C++" *)
+
+val config_name : config -> string
+
+type sizes = {
+  km_rows : int;
+  km_cols : int;
+  km_k : int;
+  km_iters : int;
+  lr_rows : int;
+  lr_cols : int;
+  lr_iters : int;
+  ns_n : int;
+}
+
+val default_sizes : sizes
+
+val run : app -> config -> sizes -> float * float
+(** (result checksum, reported seconds). *)
+
+val reference : app -> sizes -> float
+(** The checksum every configuration must reproduce. *)

@@ -1,0 +1,226 @@
+(* OptiML as a pure Mini library (the paper's "scaled down version of OptiML
+   as a pure Scala library", Sec. 3.4) plus the three evaluation apps.
+   The library contains no staging annotations; accelerator macros are added
+   separately ([Macros]) and map the same entry points onto Delite ops. *)
+
+let library =
+  {|
+class DenseVector {
+  val data: farray
+  def init(data: farray): unit = { this.data = data }
+  def get(i: int): float = this.data[i]
+  def set(i: int, v: float): unit = this.data[i] = v
+  def len(): int = this.data.length
+  def plus_eq(o: DenseVector): unit = {
+    val d = this.data;
+    val od = o.data;
+    for (j <- 0 until d.length) { d[j] = d[j] + od[j] }
+  }
+  def scale_eq(s: float): unit = {
+    val d = this.data;
+    for (j <- 0 until d.length) { d[j] = d[j] * s }
+  }
+}
+def new_vector(n: int): DenseVector = new DenseVector(new farray(n))
+
+class DenseMatrix {
+  val data: farray
+  val rows: int
+  val cols: int
+  def init(data: farray, rows: int, cols: int): unit = {
+    this.data = data; this.rows = rows; this.cols = cols
+  }
+  def get(i: int, j: int): float = this.data[i * this.cols + j]
+  def set(i: int, j: int, v: float): unit = this.data[i * this.cols + j] = v
+  def row(i: int): DenseVector = {
+    val out = new farray(this.cols);
+    val c = this.cols;
+    val d = this.data;
+    for (j <- 0 until c) { out[j] = d[i * c + j] };
+    new DenseVector(out)
+  }
+}
+def new_matrix(rows: int, cols: int): DenseMatrix =
+  new DenseMatrix(new farray(rows * cols), rows, cols)
+
+// The OptiML companion (paper Fig. 8).  Instance methods so accelerator
+// macros can intercept them by class+name.
+class OptiML {
+  def sum(start: int, stop: int, size: int, block: (int) -> DenseVector): DenseVector = {
+    val acc = new_vector(size);
+    var i = start;
+    while (i < stop) { acc.plus_eq(block(i)); i = i + 1 };
+    acc
+  }
+  def sum_scalar(start: int, stop: int, f: (int) -> float): float = {
+    var acc = 0.0;
+    var i = start;
+    while (i < stop) { acc = acc + f(i); i = i + 1 };
+    acc
+  }
+  def sum_rows(m: DenseMatrix): DenseVector = {
+    val self = this;
+    self.sum(0, m.rows, m.cols, fun (i: int) => m.row(i))
+  }
+  // per-group row sums: result is a groups x size matrix
+  def group_sum(start: int, stop: int, groups: int, size: int,
+                key: (int) -> int, block: (int) -> DenseVector): DenseMatrix = {
+    val out = new_matrix(groups, size);
+    var i = start;
+    while (i < stop) {
+      val g = key(i);
+      val v = block(i);
+      for (j <- 0 until size) { out.set(g, j, out.get(g, j) + v.get(j)) };
+      i = i + 1
+    };
+    out
+  }
+  def group_count(start: int, stop: int, groups: int, key: (int) -> int): farray = {
+    val out = new farray(groups);
+    var i = start;
+    while (i < stop) {
+      val g = key(i);
+      out[g] = out[g] + 1.0;
+      i = i + 1
+    };
+    out
+  }
+}
+|}
+
+let kmeans_app =
+  {|
+def closest(m: DenseMatrix, c: DenseMatrix, i: int): int = {
+  var best = 0;
+  var bestd = 0.0;
+  var first = true;
+  for (g <- 0 until c.rows) {
+    var d = 0.0;
+    for (j <- 0 until m.cols) {
+      val diff = m.get(i, j) - c.get(g, j);
+      d = d + diff * diff
+    };
+    if (first || d < bestd) { bestd = d; best = g; first = false }
+  };
+  best
+}
+
+def kmeans(m: DenseMatrix, k: int, iters: int): DenseMatrix = {
+  val ml = new OptiML();
+  val cols = m.cols;
+  var centroids = new_matrix(k, cols);
+  for (g <- 0 until k) {
+    for (j <- 0 until cols) { centroids.set(g, j, m.get(g, j)) }
+  };
+  var it = 0;
+  while (it < iters) {
+    val c = centroids;
+    val key = fun (i: int) => closest(m, c, i);
+    val sums = ml.group_sum(0, m.rows, k, cols, key, fun (i: int) => m.row(i));
+    val counts = ml.group_count(0, m.rows, k, key);
+    val next = new_matrix(k, cols);
+    for (g <- 0 until k) {
+      val n = counts[g];
+      for (j <- 0 until cols) {
+        if (n > 0.0) { next.set(g, j, sums.get(g, j) / n) }
+        else { next.set(g, j, c.get(g, j)) }
+      }
+    };
+    centroids = next;
+    it = it + 1
+  };
+  centroids
+}
+
+// entry point: build the matrix from a flat farray, run, return flat result
+def run_kmeans(data: farray, rows: int, cols: int, k: int, iters: int): farray = {
+  val m = new DenseMatrix(data, rows, cols);
+  val c = kmeans(m, k, iters);
+  c.data
+}
+def make_kmeans(data: farray, rows: int, cols: int, k: int, iters: int): () -> farray =
+  fun () => run_kmeans(data, rows, cols, k, iters)
+|}
+
+let logreg_app =
+  {|
+def logreg(x: DenseMatrix, y: farray, iters: int, alpha: float): farray = {
+  val ml = new OptiML();
+  val cols = x.cols;
+  val w = new farray(cols);
+  var it = 0;
+  while (it < iters) {
+    val wv = w;
+    val grad = ml.sum(0, x.rows, cols, fun (i: int) => {
+      var dot = 0.0;
+      for (j <- 0 until cols) { dot = dot + wv[j] * x.get(i, j) };
+      val s = 1.0 / (1.0 + Math.exp(0.0 - dot));
+      val v = new_vector(cols);
+      for (j <- 0 until cols) { v.set(j, x.get(i, j) * (y[i] - s)) };
+      v
+    });
+    for (j <- 0 until cols) { w[j] = w[j] + alpha * grad.get(j) };
+    it = it + 1
+  };
+  w
+}
+
+def run_logreg(data: farray, rows: int, cols: int, y: farray, iters: int, alpha: float): farray = {
+  val x = new DenseMatrix(data, rows, cols);
+  logreg(x, y, iters, alpha)
+}
+def make_logreg(data: farray, rows: int, cols: int, y: farray, iters: int, alpha: float): () -> farray =
+  fun () => run_logreg(data, rows, cols, y, iters, alpha)
+|}
+
+let namescore_app =
+  {|
+// the paper's totalScore: scores.zipWithIndex.map{ (a,i) => (i*score).toLong }.reduce(_+_)
+// The library version allocates one Pair object per element plus an
+// intermediate array — exactly what the Delite macros eliminate (AoS->SoA +
+// map/reduce fusion).
+class Pair {
+  val idx: int
+  val score: float
+  def init(idx: int, score: float): unit = { this.idx = idx; this.score = score }
+}
+
+class ArrayOps {
+  def score(name: string): float = {
+    var s = 0.0;
+    for (c <- 0 until Str.len(name)) { s = s + i2f(Str.char_at(name, c) - 64) };
+    s
+  }
+  def zip_with_index(names: array[string]): array[Pair] = {
+    val self = this;
+    val out = new array[Pair](names.length);
+    for (i <- 0 until names.length) { out[i] = new Pair(i, self.score(names[i])) };
+    out
+  }
+  def map_scores(ps: array[Pair]): farray = {
+    val out = new farray(ps.length);
+    for (i <- 0 until ps.length) {
+      val p = ps[i];
+      out[i] = i2f(p.idx + 1) * p.score
+    };
+    out
+  }
+  def reduce_sum(a: farray): float = {
+    var acc = 0.0;
+    for (i <- 0 until a.length) { acc = acc + a[i] };
+    acc
+  }
+  def total_score(names: array[string]): float = {
+    val self = this;
+    self.reduce_sum(self.map_scores(self.zip_with_index(names)))
+  }
+}
+
+def run_namescore(names: array[string]): float = {
+  val ops = new ArrayOps();
+  ops.total_score(names)
+}
+def make_namescore(names: array[string]): () -> float = fun () => run_namescore(names)
+|}
+
+let all = library ^ kmeans_app ^ logreg_app ^ namescore_app

@@ -1,0 +1,286 @@
+(* Reference implementations of the Table 2 applications:
+   - [Native.*]  hand-optimized OCaml (the paper's "C++" rows): manually
+     fused loops, no intermediate allocations.
+   - [Standalone.*]  the apps written directly against the Delite engine
+     (the paper's stand-alone "Delite" rows): parallel ops, fused pipelines,
+     native scalar kernels.
+   Both operate on flat float arrays. *)
+
+module Native = struct
+  let closest ~data ~cols ~(centroids : float array) ~k i =
+    let best = ref 0 and bestd = ref infinity in
+    for g = 0 to k - 1 do
+      let d = ref 0.0 in
+      for j = 0 to cols - 1 do
+        let diff = data.((i * cols) + j) -. centroids.((g * cols) + j) in
+        d := !d +. (diff *. diff)
+      done;
+      if !d < !bestd then begin
+        bestd := !d;
+        best := g
+      end
+    done;
+    !best
+
+  (* fully fused: assignment, accumulation and counting in one pass *)
+  let kmeans ~data ~rows ~cols ~k ~iters : float array =
+    let centroids = Array.sub data 0 (k * cols) in
+    let sums = Array.make (k * cols) 0.0 in
+    let counts = Array.make k 0 in
+    for _ = 1 to iters do
+      Array.fill sums 0 (k * cols) 0.0;
+      Array.fill counts 0 k 0;
+      for i = 0 to rows - 1 do
+        let g = closest ~data ~cols ~centroids ~k i in
+        for j = 0 to cols - 1 do
+          sums.((g * cols) + j) <- sums.((g * cols) + j) +. data.((i * cols) + j)
+        done;
+        counts.(g) <- counts.(g) + 1
+      done;
+      for g = 0 to k - 1 do
+        if counts.(g) > 0 then
+          for j = 0 to cols - 1 do
+            centroids.((g * cols) + j) <-
+              sums.((g * cols) + j) /. float_of_int counts.(g)
+          done
+      done
+    done;
+    centroids
+
+  (* gradient reduced scalar-by-scalar into the accumulator: the "manual
+     fusion" the paper describes for its C++ logistic regression *)
+  let logreg ~data ~rows ~cols ~(y : float array) ~iters ~alpha : float array =
+    let w = Array.make cols 0.0 in
+    let grad = Array.make cols 0.0 in
+    for _ = 1 to iters do
+      Array.fill grad 0 cols 0.0;
+      for i = 0 to rows - 1 do
+        let dot = ref 0.0 in
+        for j = 0 to cols - 1 do
+          dot := !dot +. (w.(j) *. data.((i * cols) + j))
+        done;
+        let s = 1.0 /. (1.0 +. exp (-. !dot)) in
+        let e = y.(i) -. s in
+        for j = 0 to cols - 1 do
+          grad.(j) <- grad.(j) +. (data.((i * cols) + j) *. e)
+        done
+      done;
+      for j = 0 to cols - 1 do
+        w.(j) <- w.(j) +. (alpha *. grad.(j))
+      done
+    done;
+    w
+
+  (* parallel variants: the same fused kernels chunked over a device *)
+  let kmeans_par ~dev ~data ~rows ~cols ~k ~iters : float array =
+    let centroids = ref (Array.sub data 0 (k * cols)) in
+    for _ = 1 to iters do
+      let c = !centroids in
+      let (sums, counts), _ =
+        Delite.Exec.fold_ranges dev ~n:rows
+          ~init:(fun () -> (Array.make (k * cols) 0.0, Array.make k 0))
+          ~body:(fun lo hi (sums, counts) ->
+            for i = lo to hi - 1 do
+              let g = closest ~data ~cols ~centroids:c ~k i in
+              for j = 0 to cols - 1 do
+                sums.((g * cols) + j) <-
+                  sums.((g * cols) + j) +. data.((i * cols) + j)
+              done;
+              counts.(g) <- counts.(g) + 1
+            done)
+          ~combine:(fun (sa, ca) (sb, cb) ->
+            Array.iteri (fun i v -> sa.(i) <- sa.(i) +. v) sb;
+            Array.iteri (fun i v -> ca.(i) <- ca.(i) + v) cb;
+            (sa, ca))
+      in
+      let next = Array.make (k * cols) 0.0 in
+      for g = 0 to k - 1 do
+        for j = 0 to cols - 1 do
+          next.((g * cols) + j) <-
+            (if counts.(g) > 0 then
+               sums.((g * cols) + j) /. float_of_int counts.(g)
+             else c.((g * cols) + j))
+        done
+      done;
+      centroids := next
+    done;
+    !centroids
+
+  let logreg_par ~dev ~data ~rows ~cols ~(y : float array) ~iters ~alpha :
+      float array =
+    let w = Array.make cols 0.0 in
+    for _ = 1 to iters do
+      let grad, _ =
+        Delite.Exec.fold_ranges dev ~n:rows
+          ~init:(fun () -> Array.make cols 0.0)
+          ~body:(fun lo hi acc ->
+            for i = lo to hi - 1 do
+              let dot = ref 0.0 in
+              for j = 0 to cols - 1 do
+                dot := !dot +. (w.(j) *. data.((i * cols) + j))
+              done;
+              let s = 1.0 /. (1.0 +. exp (-. !dot)) in
+              let e = y.(i) -. s in
+              for j = 0 to cols - 1 do
+                acc.(j) <- acc.(j) +. (data.((i * cols) + j) *. e)
+              done
+            done)
+          ~combine:(fun a b ->
+            Array.iteri (fun i v -> a.(i) <- a.(i) +. v) b;
+            a)
+      in
+      for j = 0 to cols - 1 do
+        w.(j) <- w.(j) +. (alpha *. grad.(j))
+      done
+    done;
+    w
+
+  let score name =
+    let s = ref 0.0 in
+    String.iter (fun c -> s := !s +. float_of_int (Char.code c - 64)) name;
+    !s
+
+  let namescore (names : string array) : float =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i n -> acc := !acc +. (float_of_int (i + 1) *. score n))
+      names;
+    !acc
+end
+
+module Standalone = struct
+  open Delite
+
+  let kmeans ~dev ~data ~rows ~cols ~k ~iters : float array * float =
+    let centroids = ref (Array.sub data 0 (k * cols)) in
+    let modeled = ref 0.0 in
+    for _ = 1 to iters do
+      let c = !centroids in
+      let key i = Native.closest ~data ~cols ~centroids:c ~k i in
+      let sums, _, t1 =
+        Rows.group_sum ~dev ~start:0 ~stop:rows ~groups:k ~size:cols ~key
+          ~block:(fun i acc _ ->
+            for j = 0 to cols - 1 do
+              acc.(j) <- acc.(j) +. data.((i * cols) + j)
+            done)
+      in
+      (* separate counting pass, mirroring the app's group_count call *)
+      let _, counts, t2 =
+        Rows.group_sum ~dev ~start:0 ~stop:rows ~groups:k ~size:0 ~key
+          ~block:(fun _ _ _ -> ())
+      in
+      modeled := !modeled +. t1.Exec.modeled +. t2.Exec.modeled;
+      let next = Array.make (k * cols) 0.0 in
+      for g = 0 to k - 1 do
+        for j = 0 to cols - 1 do
+          next.((g * cols) + j) <-
+            (if counts.(g) > 0 then sums.(g).(j) /. float_of_int counts.(g)
+             else c.((g * cols) + j))
+        done
+      done;
+      centroids := next
+    done;
+    (!centroids, !modeled)
+
+  let logreg ~dev ~data ~rows ~cols ~(y : float array) ~iters ~alpha :
+      float array * float =
+    let w = Array.make cols 0.0 in
+    let modeled = ref 0.0 in
+    for _ = 1 to iters do
+      let grad, t =
+        Rows.sum_rows ~dev ~start:0 ~stop:rows ~size:cols ~block:(fun i tmp ->
+            let dot = ref 0.0 in
+            for j = 0 to cols - 1 do
+              dot := !dot +. (w.(j) *. data.((i * cols) + j))
+            done;
+            let s = 1.0 /. (1.0 +. exp (-. !dot)) in
+            let e = y.(i) -. s in
+            for j = 0 to cols - 1 do
+              tmp.(j) <- data.((i * cols) + j) *. e
+            done)
+      in
+      modeled := !modeled +. t.Exec.modeled;
+      for j = 0 to cols - 1 do
+        w.(j) <- w.(j) +. (alpha *. grad.(j))
+      done
+    done;
+    (w, !modeled)
+
+  (* "manual opt" variant: reduce each scalar directly into the accumulator
+     (no per-row temporary), the transformation the paper says Delite does
+     not yet support *)
+  let logreg_manual ~dev ~data ~rows ~cols ~(y : float array) ~iters ~alpha :
+      float array * float =
+    let w = Array.make cols 0.0 in
+    let modeled = ref 0.0 in
+    for _ = 1 to iters do
+      let grad, t =
+        Exec.fold_ranges dev ~n:rows
+          ~init:(fun () -> Array.make cols 0.0)
+          ~body:(fun lo hi acc ->
+            for i = lo to hi - 1 do
+              let dot = ref 0.0 in
+              for j = 0 to cols - 1 do
+                dot := !dot +. (w.(j) *. data.((i * cols) + j))
+              done;
+              let s = 1.0 /. (1.0 +. exp (-. !dot)) in
+              let e = y.(i) -. s in
+              for j = 0 to cols - 1 do
+                acc.(j) <- acc.(j) +. (data.((i * cols) + j) *. e)
+              done
+            done)
+          ~combine:(fun a b ->
+            for j = 0 to cols - 1 do
+              a.(j) <- a.(j) +. b.(j)
+            done;
+            a)
+      in
+      modeled := !modeled +. t.Exec.modeled;
+      for j = 0 to cols - 1 do
+        w.(j) <- w.(j) +. (alpha *. grad.(j))
+      done
+    done;
+    (w, !modeled)
+
+  let namescore ~dev (names : string array) : float * float =
+    let r, t =
+      Rows.sum_scalar ~dev ~start:0 ~stop:(Array.length names) ~f:(fun i ->
+          float_of_int (i + 1) *. Native.score names.(i))
+    in
+    (r, t.Exec.modeled)
+end
+
+module Data = struct
+  (* clustered points for k-means; separable-ish samples for logreg *)
+  let kmeans_data ~seed ~rows ~cols ~k : float array =
+    let rng = Random.State.make [| seed |] in
+    let centers =
+      Array.init (k * cols) (fun _ -> Random.State.float rng 10.0)
+    in
+    Array.init (rows * cols) (fun idx ->
+        let i = idx / cols and j = idx mod cols in
+        let c = i mod k in
+        centers.((c * cols) + j) +. Random.State.float rng 1.0)
+
+  let logreg_data ~seed ~rows ~cols : float array * float array =
+    let rng = Random.State.make [| seed |] in
+    let x =
+      Array.init (rows * cols) (fun _ -> Random.State.float rng 2.0 -. 1.0)
+    in
+    let y =
+      Array.init rows (fun i ->
+          let s = ref 0.0 in
+          for j = 0 to cols - 1 do
+            s := !s +. x.((i * cols) + j)
+          done;
+          if !s > 0.0 then 1.0 else 0.0)
+    in
+    (x, y)
+
+  let names ~seed ~n : string array =
+    let rng = Random.State.make [| seed |] in
+    Array.init n (fun _ ->
+        String.init
+          (4 + Random.State.int rng 8)
+          (fun _ -> Char.chr (65 + Random.State.int rng 26)))
+end

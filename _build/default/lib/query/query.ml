@@ -1,0 +1,205 @@
+(* Language-embedded queries (paper Sec. 3.5, SQL/LINQ): an in-memory
+   relational substrate, a query IR, SQL text generation, and the two
+   context-aware optimizations the paper describes — reuse of repeated
+   scalar aggregates (no duplicate execution) and query-avalanche avoidance
+   (a nested per-row query becomes one grouped query plus an index). *)
+
+type scalar = S_int of int | S_str of string | S_float of float
+
+let scalar_to_string = function
+  | S_int i -> string_of_int i
+  | S_str s -> s
+  | S_float f -> Printf.sprintf "%g" f
+
+type row = scalar array
+
+type table = {
+  t_name : string;
+  t_cols : string list;
+  t_rows : row list;
+  mutable t_scans : int; (* instrumentation: how often this table was read *)
+}
+
+let make_table ~name ~cols ~rows = { t_name = name; t_cols = cols; t_rows = rows; t_scans = 0 }
+
+let col_index t c =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "table %s has no column %s" t.t_name c)
+    | x :: _ when String.equal x c -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.t_cols
+
+(* ---------------- predicates and queries ---------------- *)
+
+type pred =
+  | P_true
+  | P_and of pred * pred
+  | P_cmp of string * cmp * scalar (* column op constant *)
+  | P_eq_col of string * string (* column = column (for joins) *)
+  | P_eq_param of string (* column = ? — a query parameterized per row *)
+
+and cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type query =
+  | Scan of table
+  | Filter of query * pred
+  | Project of query * string list
+
+type agg = Count of query | Sum of query * string
+
+(* ---------------- SQL generation ---------------- *)
+
+let cmp_sql = function
+  | Ceq -> "=" | Cne -> "<>" | Clt -> "<" | Cle -> "<=" | Cgt -> ">" | Cge -> ">="
+
+let scalar_sql = function
+  | S_int i -> string_of_int i
+  | S_float f -> Printf.sprintf "%g" f
+  | S_str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+let rec pred_sql = function
+  | P_true -> "1=1"
+  | P_and (a, b) -> Printf.sprintf "(%s AND %s)" (pred_sql a) (pred_sql b)
+  | P_cmp (c, op, v) -> Printf.sprintf "%s %s %s" c (cmp_sql op) (scalar_sql v)
+  | P_eq_col (a, b) -> Printf.sprintf "%s = %s" a b
+  | P_eq_param c -> Printf.sprintf "%s = ?" c
+
+(* flatten a query into SELECT cols FROM t WHERE preds *)
+let rec flatten (q : query) : string list option * table * pred =
+  match q with
+  | Scan t -> (None, t, P_true)
+  | Filter (q, p) ->
+    let cols, t, p0 = flatten q in
+    (cols, t, if p0 = P_true then p else P_and (p0, p))
+  | Project (q, cs) ->
+    let _, t, p = flatten q in
+    (Some cs, t, p)
+
+let to_sql (q : query) : string =
+  let cols, t, p = flatten q in
+  let sel = match cols with None -> "*" | Some cs -> String.concat ", " cs in
+  let where = match p with P_true -> "" | p -> " WHERE " ^ pred_sql p in
+  Printf.sprintf "SELECT %s FROM %s%s" sel t.t_name where
+
+let agg_sql = function
+  | Count q ->
+    let _, t, p = flatten q in
+    let where = match p with P_true -> "" | p -> " WHERE " ^ pred_sql p in
+    Printf.sprintf "SELECT COUNT(*) FROM %s%s" t.t_name where
+  | Sum (q, c) ->
+    let _, t, p = flatten q in
+    let where = match p with P_true -> "" | p -> " WHERE " ^ pred_sql p in
+    Printf.sprintf "SELECT SUM(%s) FROM %s%s" c t.t_name where
+
+(* ---------------- in-memory evaluation ---------------- *)
+
+let rec eval_pred t (p : pred) ~(param : scalar option) (r : row) : bool =
+  match p with
+  | P_true -> true
+  | P_and (a, b) -> eval_pred t a ~param r && eval_pred t b ~param r
+  | P_cmp (c, op, v) ->
+    let x = r.(col_index t c) in
+    let d = compare x v in
+    (match op with
+    | Ceq -> d = 0 | Cne -> d <> 0 | Clt -> d < 0
+    | Cle -> d <= 0 | Cgt -> d > 0 | Cge -> d >= 0)
+  | P_eq_col (a, b) -> r.(col_index t a) = r.(col_index t b)
+  | P_eq_param c -> (
+    match param with
+    | Some v -> r.(col_index t c) = v
+    | None -> invalid_arg "unbound query parameter")
+
+let run ?param (q : query) : row list =
+  let cols, t, p = flatten q in
+  t.t_scans <- t.t_scans + 1;
+  let rows = List.filter (eval_pred t p ~param) t.t_rows in
+  match cols with
+  | None -> rows
+  | Some cs ->
+    let idx = List.map (col_index t) cs in
+    List.map (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx)) rows
+
+let count ?param (q : query) : int = List.length (run ?param q)
+
+let sum ?param (q : query) (c : string) : float =
+  let _, t, _ = flatten q in
+  let i = col_index t c in
+  List.fold_left
+    (fun acc r ->
+      acc
+      +.
+      match r.(i) with
+      | S_int v -> float_of_int v
+      | S_float v -> v
+      | S_str _ -> 0.0)
+    0.0 (run ?param q)
+
+(* ---------------- context-aware optimizations ---------------- *)
+
+(* 1. Duplicate-execution avoidance: [res.count] and [res.sum] on the same
+   query normally execute it twice; sharing materializes once. *)
+type shared = { sh_rows : row list Lazy.t; sh_query : query }
+
+let share (q : query) : shared = { sh_rows = lazy (run q); sh_query = q }
+
+let shared_count (s : shared) = List.length (Lazy.force s.sh_rows)
+
+let shared_sum (s : shared) (c : string) =
+  let _, t, _ = flatten s.sh_query in
+  let i = col_index t c in
+  List.fold_left
+    (fun acc r ->
+      acc
+      +.
+      match r.(i) with
+      | S_int v -> float_of_int v
+      | S_float v -> v
+      | S_str _ -> 0.0)
+    0.0 (Lazy.force s.sh_rows)
+
+(* 2. Query-avalanche avoidance: for every row of the outer query, the inner
+   parameterized query [Filter (inner, P_eq_param key)] would issue one
+   query.  Building a group index replaces N inner queries with one scan. *)
+type 'k index = ('k, row list) Hashtbl.t
+
+let group_by (q : query) (key_col : string) : scalar index =
+  let _, t, _ = flatten q in
+  let i = col_index t key_col in
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = r.(i) in
+      Hashtbl.replace h k (r :: (Option.value (Hashtbl.find_opt h k) ~default:[])))
+    (run q);
+  h
+
+let index_lookup (h : scalar index) (k : scalar) : row list =
+  List.rev (Option.value (Hashtbl.find_opt h k) ~default:[])
+
+(* The naive nested loop (one inner query per outer row)... *)
+let nested_naive ~(outer : query) ~(inner : query) ~(inner_key : string)
+    ~(outer_key : string) : (row * row list) list =
+  let ocols, ot, _ = flatten outer in
+  ignore ocols;
+  let oi = col_index ot outer_key in
+  List.map
+    (fun r -> (r, run ~param:r.(oi) (Filter (inner, P_eq_param inner_key))))
+    (run outer)
+
+(* ...and the avalanche-safe version: exactly two scans total. *)
+let nested_indexed ~(outer : query) ~(inner : query) ~(inner_key : string)
+    ~(outer_key : string) : (row * row list) list =
+  let _, ot, _ = flatten outer in
+  let oi = col_index ot outer_key in
+  let idx = group_by inner inner_key in
+  List.map (fun r -> (r, index_lookup idx r.(oi))) (run outer)
+
+(* scan counters for tests/benches *)
+let scans_of (q : query) =
+  let _, t, _ = flatten q in
+  t.t_scans
+
+let reset_scans (q : query) =
+  let _, t, _ = flatten q in
+  t.t_scans <- 0

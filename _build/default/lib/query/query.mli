@@ -1,0 +1,93 @@
+(** Language-embedded queries (paper Sec. 3.5): an in-memory relational
+    substrate, a query IR, SQL text generation, and the two context-aware
+    optimizations the paper describes — shared scalar aggregates (no
+    duplicate execution) and query-avalanche avoidance via group indexes. *)
+
+(** {1 Relations} *)
+
+type scalar = S_int of int | S_str of string | S_float of float
+
+val scalar_to_string : scalar -> string
+
+type row = scalar array
+
+type table = {
+  t_name : string;
+  t_cols : string list;
+  t_rows : row list;
+  mutable t_scans : int;  (** instrumentation: number of scans executed *)
+}
+
+val make_table : name:string -> cols:string list -> rows:row list -> table
+
+val col_index : table -> string -> int
+(** @raise Invalid_argument for an unknown column. *)
+
+(** {1 Queries} *)
+
+type pred =
+  | P_true
+  | P_and of pred * pred
+  | P_cmp of string * cmp * scalar  (** column ⋈ constant *)
+  | P_eq_col of string * string
+  | P_eq_param of string  (** column = ? (bound per execution) *)
+
+and cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type query =
+  | Scan of table
+  | Filter of query * pred
+  | Project of query * string list
+
+type agg = Count of query | Sum of query * string
+
+(** {1 SQL generation} *)
+
+val to_sql : query -> string
+(** e.g. [SELECT id FROM t_item WHERE price > 0]. String constants are
+    quoted with [''] escaping. *)
+
+val agg_sql : agg -> string
+
+(** {1 In-memory evaluation} *)
+
+val run : ?param:scalar -> query -> row list
+(** Executes the query (one table scan, recorded in [t_scans]);
+    [param] binds [P_eq_param] predicates. *)
+
+val count : ?param:scalar -> query -> int
+val sum : ?param:scalar -> query -> string -> float
+
+(** {1 Context-aware optimizations} *)
+
+type shared
+(** A query whose result is materialized at most once, so that [count] and
+    [sum] on the same result do not re-execute it (the paper's duplicate
+    execution problem). *)
+
+val share : query -> shared
+val shared_count : shared -> int
+val shared_sum : shared -> string -> float
+
+type 'k index
+
+val group_by : query -> string -> scalar index
+(** One scan building a key → rows index. *)
+
+val index_lookup : scalar index -> scalar -> row list
+
+val nested_naive :
+  outer:query -> inner:query -> inner_key:string -> outer_key:string ->
+  (row * row list) list
+(** The query avalanche: issues one parameterized inner query per outer
+    row. *)
+
+val nested_indexed :
+  outer:query -> inner:query -> inner_key:string -> outer_key:string ->
+  (row * row list) list
+(** Avalanche-safe equivalent: exactly one inner scan via [group_by]. *)
+
+(** {1 Instrumentation} *)
+
+val scans_of : query -> int
+val reset_scans : query -> unit

@@ -1,0 +1,142 @@
+(* Safe and efficient numeric overflow (paper Sec. 3.2): overflow-safe
+   integers that speculatively stay machine-sized; overflow triggers
+   [slowpath] and the BigInteger representation — which compiled code never
+   contains.  BigInteger values live in a registry indexed by BigRef
+   objects, since VM values cannot hold OCaml bigints directly. *)
+
+open Vm.Types
+
+let bigs : (int, Bigint.t) Hashtbl.t = Hashtbl.create 64
+let next_big = ref 0
+
+let register_big (b : Bigint.t) : int =
+  let id = !next_big in
+  incr next_big;
+  Hashtbl.replace bigs id b;
+  id
+
+let big_of_ref rt v =
+  ignore rt;
+  match v with
+  | Obj o when o.ocls.cname = "BigRef" -> Hashtbl.find bigs (Vm.Value.to_int o.ofields.(0))
+  | _ -> vm_error "expected a BigRef"
+
+let make_ref rt (b : Bigint.t) : value =
+  let cls = Vm.Classfile.find_class rt "BigRef" in
+  let o = Vm.Runtime.alloc rt cls in
+  o.ofields.(0) <- Int (register_big b);
+  Obj o
+
+(* 32-bit range checks on exact (63-bit) arithmetic *)
+let fits v = v >= -0x8000_0000 && v <= 0x7FFF_FFFF
+
+(* BigRef itself is declared by the Mini source; only the Big native class
+   is created here *)
+let install_natives rt =
+  let cls = Vm.Classfile.declare_class rt ~name:"Big" ~fields:[] () in
+  let n name nargs fn = ignore (Vm.Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  let i = Vm.Value.to_int in
+  n "add_fits" 2 (fun _ a -> Vm.Value.of_bool (fits (i a.(0) + i a.(1))));
+  n "mul_fits" 2 (fun _ a -> Vm.Value.of_bool (fits (i a.(0) * i a.(1))));
+  n "of_int" 1 (fun rt a -> make_ref rt (Bigint.of_int (i a.(0))));
+  n "add" 2 (fun rt a -> make_ref rt (Bigint.add (big_of_ref rt a.(0)) (big_of_ref rt a.(1))));
+  n "mul" 2 (fun rt a -> make_ref rt (Bigint.mul (big_of_ref rt a.(0)) (big_of_ref rt a.(1))));
+  n "to_str" 1 (fun rt a -> Str (Bigint.to_string (big_of_ref rt a.(0))))
+
+(* The Mini SafeInt library, following the paper's structure: the Big case
+   is always behind Lancet.slowpath(), so compiled code handles only
+   machine-sized integers. *)
+let mini_source =
+  {|
+class BigRef {
+  val id: int
+}
+
+class SafeInt {
+  val small: int
+  val big: BigRef
+  def init(small: int, big: BigRef): unit = { this.small = small; this.big = big }
+  def to_str(): string =
+    if (this.big == null) Str.of_int(this.small) else Big.to_str(this.big)
+}
+
+def safe_of(x: int): SafeInt = new SafeInt(x, null)
+
+def safe_promote(a: SafeInt): BigRef =
+  if (a.big == null) Big.of_int(a.small) else a.big
+
+def safe_add(a: SafeInt, b: SafeInt): SafeInt =
+  if (a.big == null && b.big == null) {
+    if (Big.add_fits(a.small, b.small)) { new SafeInt(a.small + b.small, null) }
+    else {
+      Lancet.slowpath();
+      new SafeInt(0, Big.add(Big.of_int(a.small), Big.of_int(b.small)))
+    }
+  } else {
+    Lancet.slowpath();
+    new SafeInt(0, Big.add(safe_promote(a), safe_promote(b)))
+  }
+
+def safe_mul(a: SafeInt, b: SafeInt): SafeInt =
+  if (a.big == null && b.big == null) {
+    if (Big.mul_fits(a.small, b.small)) { new SafeInt(a.small * b.small, null) }
+    else {
+      Lancet.slowpath();
+      new SafeInt(0, Big.mul(Big.of_int(a.small), Big.of_int(b.small)))
+    }
+  } else {
+    Lancet.slowpath();
+    new SafeInt(0, Big.mul(safe_promote(a), safe_promote(b)))
+  }
+
+// the paper's motivating loop: a product that may overflow for large n
+def safe_product(n: int): string = {
+  var prod = safe_of(1);
+  var i = 1;
+  while (i <= n) {
+    prod = safe_mul(prod, safe_of(i));
+    i = i + 1
+  };
+  prod.to_str()
+}
+def make_safe_product(n: int): () -> string = fun () => safe_product(n)
+
+// sum variant used by the ablation bench (stays small for realistic n)
+def safe_sum(n: int): string = {
+  var acc = safe_of(0);
+  var i = 1;
+  while (i <= n) {
+    acc = safe_add(acc, safe_of(i));
+    i = i + 1
+  };
+  acc.to_str()
+}
+def make_safe_sum(n: int): () -> string = fun () => safe_sum(n)
+
+// plain-int reference (no overflow safety)
+def plain_sum(n: int): int = {
+  var acc = 0;
+  var i = 1;
+  while (i <= n) { acc = acc + i; i = i + 1 };
+  acc
+}
+def make_plain_sum(n: int): () -> int = fun () => plain_sum(n)
+|}
+
+let register_types () =
+  Mini.Typecheck.register_builtin_class "Big";
+  let open Mini.Ast in
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"add_fits" [ Tint; Tint ] Tbool;
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"mul_fits" [ Tint; Tint ] Tbool;
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"of_int" [ Tint ] (Tclass "BigRef");
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"add"
+    [ Tclass "BigRef"; Tclass "BigRef" ] (Tclass "BigRef");
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"mul"
+    [ Tclass "BigRef"; Tclass "BigRef" ] (Tclass "BigRef");
+  Mini.Typecheck.register_builtin_sig ~cls:"Big" ~name:"to_str" [ Tclass "BigRef" ] Tstring
+
+let boot () =
+  register_types ();
+  let rt = Lancet.Api.boot () in
+  install_natives rt;
+  (rt, Mini.Front.load rt mini_source)

@@ -1,0 +1,1 @@
+lib/vm/assembler.ml: Array Classfile List Queue Types

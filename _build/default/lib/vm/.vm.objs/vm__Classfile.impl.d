@@ -1,0 +1,1 @@
+lib/vm/classfile.ml: Array Hashtbl List Option String Types

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Classfile Runtime Types Value

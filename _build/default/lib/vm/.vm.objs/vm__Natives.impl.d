@@ -1,0 +1,1 @@
+lib/vm/natives.ml: Array Char Classfile Float Format Interp List Runtime String Types Unix Value

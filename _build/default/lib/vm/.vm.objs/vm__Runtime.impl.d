@@ -1,0 +1,1 @@
+lib/vm/runtime.ml: Array Buffer Fun Hashtbl Types

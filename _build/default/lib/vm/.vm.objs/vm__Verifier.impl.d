@@ -1,0 +1,1 @@
+lib/vm/verifier.ml: Array Format Hashtbl List Printexc Printf Queue Types

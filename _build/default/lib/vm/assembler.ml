@@ -1,0 +1,165 @@
+(* Programmatic bytecode assembler: label-based control flow, automatic
+   local-slot allocation, and max-stack computation.  Both the Mini code
+   generator and hand-written test programs go through this interface. *)
+
+open Types
+
+type label = int
+
+type t = {
+  rt : runtime;
+  mutable code : instr array;
+  mutable len : int;
+  mutable labels : int array; (* label id -> pc, -1 while unplaced *)
+  mutable nlabels : int;
+  mutable nlocals : int;
+  mutable patches : (int * label * (int -> instr)) list;
+}
+
+let create rt ~nlocals =
+  {
+    rt;
+    code = Array.make 32 Ret;
+    len = 0;
+    labels = Array.make 16 (-1);
+    nlabels = 0;
+    nlocals;
+    patches = [];
+  }
+
+let emit b i =
+  if b.len = Array.length b.code then begin
+    let c = Array.make (2 * b.len) Ret in
+    Array.blit b.code 0 c 0 b.len;
+    b.code <- c
+  end;
+  b.code.(b.len) <- i;
+  b.len <- b.len + 1
+
+let here b = b.len
+
+let new_label b =
+  if b.nlabels = Array.length b.labels then begin
+    let l = Array.make (2 * b.nlabels) (-1) in
+    Array.blit b.labels 0 l 0 b.nlabels;
+    b.labels <- l
+  end;
+  let id = b.nlabels in
+  b.nlabels <- id + 1;
+  id
+
+let place b l =
+  if b.labels.(l) >= 0 then vm_error "label %d placed twice" l;
+  b.labels.(l) <- b.len
+
+let branch b l make =
+  b.patches <- (b.len, l, make) :: b.patches;
+  emit b (make (-1))
+
+let goto b l = branch b l (fun t -> Goto t)
+let if_ b c l = branch b l (fun t -> If (c, t))
+let iff b c l = branch b l (fun t -> Iff (c, t))
+let ifz b c l = branch b l (fun t -> Ifz (c, t))
+let ifnull b when_null l = branch b l (fun t -> Ifnull (when_null, t))
+
+let local b =
+  let i = b.nlocals in
+  b.nlocals <- i + 1;
+  i
+
+(* Net stack effect; [None] means control does not fall through. *)
+let stack_effect rt = function
+  | Const _ | Load _ | New _ | Getglobal _ -> 1
+  | Store _ | Pop | Iop _ | Fop _ | Ifz _ | Ifnull _ | Putglobal _ | Aload
+  | Faload ->
+    -1
+  | Dup -> 1
+  | Swap | Ineg | Fneg | I2f | F2i | Goto _ | Alen | Newarr | Newfarr | Trap _
+    ->
+    0
+  | If _ | Iff _ | Putfield _ -> -2
+  | Getfield _ -> 0
+  | Astore | Fastore -> -3
+  | Invoke inv ->
+    let argc =
+      match inv with
+      | Static m -> m.mnargs
+      | Special m -> m.mnargs + 1
+      | Virtual (_, n, _) -> n + 1
+    in
+    ignore rt;
+    1 - argc
+  | Ret | Retv -> 0
+
+let successors code pc =
+  match code.(pc) with
+  | Goto t -> [ t ]
+  | If (_, t) | Iff (_, t) | Ifz (_, t) | Ifnull (_, t) -> [ t; pc + 1 ]
+  | Ret | Retv | Trap _ -> []
+  | Const _ | Load _ | Store _ | Dup | Pop | Swap | Iop _ | Ineg | Fop _
+  | Fneg | I2f | F2i | New _ | Getfield _ | Putfield _ | Getglobal _
+  | Putglobal _ | Newarr | Newfarr | Aload | Astore | Faload | Fastore | Alen
+  | Invoke _ ->
+    [ pc + 1 ]
+
+let compute_maxstack rt code =
+  let n = Array.length code in
+  if n = 0 then 0
+  else begin
+    let depth = Array.make n (-1) in
+    let maxd = ref 0 in
+    let work = Queue.create () in
+    depth.(0) <- 0;
+    Queue.add 0 work;
+    while not (Queue.is_empty work) do
+      let pc = Queue.pop work in
+      let d = depth.(pc) in
+      (* depth consumed before effect must not go negative; we only track the
+         net effect, which is enough to size the stack array *)
+      let d' = d + stack_effect rt code.(pc) in
+      let d_after = match code.(pc) with Retv -> d' - 1 | _ -> d' in
+      ignore d_after;
+      if d' > !maxd then maxd := d';
+      if d + 1 > !maxd then maxd := d + 1;
+      let next = successors code pc in
+      let record pc' =
+        if pc' < n then
+          if depth.(pc') < 0 then begin
+            depth.(pc') <- max d' 0;
+            Queue.add pc' work
+          end
+      in
+      List.iter record next
+    done;
+    !maxd + 2
+  end
+
+let finish b =
+  let code = Array.sub b.code 0 b.len in
+  List.iter
+    (fun (pos, l, make) ->
+      let t = b.labels.(l) in
+      if t < 0 then vm_error "unplaced label %d" l;
+      code.(pos) <- make t)
+    b.patches;
+  (code, b.nlocals, compute_maxstack b.rt code)
+
+(* Fill the body of a previously declared method. *)
+let fill_method rt (m : meth) gen =
+  let b = create rt ~nlocals:m.mnlocals in
+  gen b;
+  (* implicit return for generators that fall off the end *)
+  emit b Ret;
+  let code, nlocals, maxstack = finish b in
+  m.mcode <- Bytecode code;
+  m.mnlocals <- nlocals;
+  m.mmaxstack <- maxstack;
+  m
+
+(* Define a bytecode method on [cls]; [gen] receives the builder, with local
+   slots [0 .. nargs(-1|+0)] already holding the receiver and parameters. *)
+let define_method rt cls ~name ?(static = false) ~nargs gen =
+  let m =
+    Classfile.add_method rt cls ~name ~static ~nargs (Bytecode [||])
+  in
+  fill_method rt m gen

@@ -1,0 +1,125 @@
+(* Class and method construction, dispatch-table resolution, lookups. *)
+
+open Types
+
+let find_class rt name =
+  match Hashtbl.find_opt rt.classes name with
+  | Some c -> c
+  | None -> vm_error "unknown class %s" name
+
+let find_class_opt rt name = Hashtbl.find_opt rt.classes name
+
+(* Fields of [cls] are flattened with inherited fields first, so a field
+   index valid for a superclass is valid for every subclass. *)
+let declare_class rt ~name ?super ?(flags = []) ~fields () =
+  if Hashtbl.mem rt.classes name then vm_error "class %s redeclared" name;
+  let super_cls = Option.map (find_class rt) super in
+  let inherited =
+    match super_cls with None -> [||] | Some s -> s.cfields
+  in
+  let base = Array.length inherited in
+  let own =
+    Array.of_list
+      (List.mapi
+         (fun i (fname, ffinal) ->
+           { fowner = name; fname; fidx = base + i; ffinal })
+         fields)
+  in
+  let cls =
+    {
+      cid = rt.next_cid;
+      cname = name;
+      csuper = super_cls;
+      cfields = Array.append inherited own;
+      cmethods = [];
+      cvtable = Hashtbl.create 8;
+      cflags =
+        (flags
+        @ match super_cls with Some s -> s.cflags | None -> []);
+    }
+  in
+  rt.next_cid <- rt.next_cid + 1;
+  Hashtbl.replace rt.classes name cls;
+  cls
+
+let field cls name =
+  let n = Array.length cls.cfields in
+  let rec go i =
+    if i >= n then vm_error "class %s has no field %s" cls.cname name
+    else if String.equal cls.cfields.(i).fname name then cls.cfields.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let has_field cls name =
+  Array.exists (fun f -> String.equal f.fname name) cls.cfields
+
+let add_method rt cls ~name ?(static = false) ~nargs code =
+  let nlocals = nargs + (if static then 0 else 1) in
+  let m =
+    {
+      mid = rt.next_mid;
+      mname = name;
+      mowner = cls;
+      mstatic = static;
+      mnargs = nargs;
+      mnlocals = nlocals;
+      mmaxstack = 8;
+      mcode = code;
+    }
+  in
+  rt.next_mid <- rt.next_mid + 1;
+  cls.cmethods <- m :: cls.cmethods;
+  if not static then Hashtbl.replace cls.cvtable name m;
+  m
+
+let add_native rt cls ~name ?(static = false) ~nargs fn =
+  add_method rt cls ~name ~static ~nargs (Native (cls.cname ^ "." ^ name, fn))
+
+(* Virtual lookup: own dispatch table first, then the superclass chain (the
+   chain is walked at call time so that methods may be added to a superclass
+   after subclasses were declared). *)
+let rec resolve_virtual_opt cls name =
+  match Hashtbl.find_opt cls.cvtable name with
+  | Some m -> Some m
+  | None -> (
+    match cls.csuper with
+    | Some s -> resolve_virtual_opt s name
+    | None -> None)
+
+let resolve_virtual cls name =
+  match resolve_virtual_opt cls name with
+  | Some m -> m
+  | None -> vm_error "class %s has no virtual method %s" cls.cname name
+
+(* Lookup of a method declared directly on [cls] (static or not). *)
+let own_method cls name =
+  match List.find_opt (fun m -> String.equal m.mname name) cls.cmethods with
+  | Some m -> m
+  | None -> vm_error "class %s has no method %s" cls.cname name
+
+let own_method_opt cls name =
+  List.find_opt (fun m -> String.equal m.mname name) cls.cmethods
+
+let static_method rt ~cls ~name = own_method (find_class rt cls) name
+
+let is_subclass sub super =
+  let rec go c =
+    c.cid = super.cid || match c.csuper with Some s -> go s | None -> false
+  in
+  go sub
+
+let has_flag cls f = List.mem f cls.cflags
+
+(* Class-hierarchy analysis: no strict subclass of [cls] (re)defines
+   [name], so a virtual call on a receiver statically typed [cls] always
+   resolves to [resolve_virtual cls name]. *)
+let no_override_below rt cls name =
+  let overridden = ref false in
+  Hashtbl.iter
+    (fun _ c ->
+      if c.cid <> cls.cid && is_subclass c cls then
+        if List.exists (fun m -> String.equal m.mname name) c.cmethods then
+          overridden := true)
+    rt.classes;
+  not !overridden

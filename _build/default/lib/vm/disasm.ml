@@ -1,0 +1,83 @@
+(* Human-readable dumps of bytecode methods and classes. *)
+
+open Types
+
+let iop_name = function
+  | Add -> "iadd" | Sub -> "isub" | Mul -> "imul" | Div -> "idiv"
+  | Rem -> "irem" | And -> "iand" | Or -> "ior" | Xor -> "ixor"
+  | Shl -> "ishl" | Shr -> "ishr"
+
+let fop_name = function
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_instr ppf = function
+  | Const v -> Format.fprintf ppf "const %a" Value.pp v
+  | Load n -> Format.fprintf ppf "load %d" n
+  | Store n -> Format.fprintf ppf "store %d" n
+  | Dup -> Format.fprintf ppf "dup"
+  | Pop -> Format.fprintf ppf "pop"
+  | Swap -> Format.fprintf ppf "swap"
+  | Iop op -> Format.fprintf ppf "%s" (iop_name op)
+  | Ineg -> Format.fprintf ppf "ineg"
+  | Fop op -> Format.fprintf ppf "%s" (fop_name op)
+  | Fneg -> Format.fprintf ppf "fneg"
+  | I2f -> Format.fprintf ppf "i2f"
+  | F2i -> Format.fprintf ppf "f2i"
+  | If (c, t) -> Format.fprintf ppf "if_icmp%s -> %d" (cond_name c) t
+  | Iff (c, t) -> Format.fprintf ppf "if_fcmp%s -> %d" (cond_name c) t
+  | Ifz (c, t) -> Format.fprintf ppf "if%s -> %d" (cond_name c) t
+  | Ifnull (b, t) -> Format.fprintf ppf "if%snull -> %d" (if b then "" else "non") t
+  | Goto t -> Format.fprintf ppf "goto -> %d" t
+  | New c -> Format.fprintf ppf "new %s" c.cname
+  | Getfield f -> Format.fprintf ppf "getfield %s.%s" f.fowner f.fname
+  | Putfield f -> Format.fprintf ppf "putfield %s.%s" f.fowner f.fname
+  | Getglobal g -> Format.fprintf ppf "getglobal %d" g
+  | Putglobal g -> Format.fprintf ppf "putglobal %d" g
+  | Newarr -> Format.fprintf ppf "newarray"
+  | Newfarr -> Format.fprintf ppf "newfarray"
+  | Aload -> Format.fprintf ppf "aload"
+  | Astore -> Format.fprintf ppf "astore"
+  | Faload -> Format.fprintf ppf "faload"
+  | Fastore -> Format.fprintf ppf "fastore"
+  | Alen -> Format.fprintf ppf "arraylength"
+  | Invoke (Static m) ->
+    Format.fprintf ppf "invokestatic %s.%s/%d" m.mowner.cname m.mname m.mnargs
+  | Invoke (Special m) ->
+    Format.fprintf ppf "invokespecial %s.%s/%d" m.mowner.cname m.mname m.mnargs
+  | Invoke (Virtual (name, n, hint)) ->
+    Format.fprintf ppf "invokevirtual %s/%d%s" name n
+      (match hint with Some c -> " :" ^ c.cname | None -> "")
+  | Ret -> Format.fprintf ppf "return"
+  | Retv -> Format.fprintf ppf "vreturn"
+  | Trap s -> Format.fprintf ppf "trap %S" s
+
+let pp_method ppf m =
+  Format.fprintf ppf "@[<v2>%s %s.%s/%d (locals=%d, maxstack=%d):"
+    (if m.mstatic then "static" else "virtual")
+    m.mowner.cname m.mname m.mnargs m.mnlocals m.mmaxstack;
+  (match m.mcode with
+  | Native (name, _) -> Format.fprintf ppf "@,<native %s>" name
+  | Bytecode code ->
+    Array.iteri
+      (fun pc i -> Format.fprintf ppf "@,%4d: %a" pc pp_instr i)
+      code);
+  Format.fprintf ppf "@]"
+
+let pp_class ppf c =
+  Format.fprintf ppf "@[<v2>class %s%s {" c.cname
+    (match c.csuper with Some s -> " extends " ^ s.cname | None -> "");
+  Array.iter
+    (fun f ->
+      if String.equal f.fowner c.cname then
+        Format.fprintf ppf "@,%svar %s (slot %d)"
+          (if f.ffinal then "final " else "")
+          f.fname f.fidx)
+    c.cfields;
+  List.iter (fun m -> Format.fprintf ppf "@,%a" pp_method m) (List.rev c.cmethods);
+  Format.fprintf ppf "@]@,}"
+
+let method_to_string m = Format.asprintf "%a" pp_method m
+let class_to_string c = Format.asprintf "%a" pp_class c

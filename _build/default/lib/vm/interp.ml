@@ -1,0 +1,197 @@
+(* The bytecode interpreter.  Mirrors the Graal-derived interpreter of the
+   paper's Fig. 6: linked [frame] records (control, environment and
+   continuation of a CESK machine), an operand stack mapped onto each frame,
+   and a [loop] that executes instructions of the current frame and performs
+   control transfers by swapping the current frame. *)
+
+open Types
+
+type frame = {
+  fmeth : meth;
+  mutable pc : int;
+  locals : value array;
+  ostack : value array;
+  mutable sp : int; (* next free stack slot *)
+  mutable parent : frame option;
+}
+
+let make_frame ?parent meth args =
+  let locals = Array.make (max meth.mnlocals (Array.length args)) Null in
+  Array.blit args 0 locals 0 (Array.length args);
+  {
+    fmeth = meth;
+    pc = 0;
+    locals;
+    ostack = Array.make (max meth.mmaxstack 4) Null;
+    sp = 0;
+    parent;
+  }
+
+let push f v =
+  f.ostack.(f.sp) <- v;
+  f.sp <- f.sp + 1
+
+let pop f =
+  f.sp <- f.sp - 1;
+  f.ostack.(f.sp)
+
+let pop_int f = Value.to_int (pop f)
+let pop_float f = Value.to_float (pop f)
+
+let pop_args f n =
+  let a = Array.make n Null in
+  for i = n - 1 downto 0 do
+    a.(i) <- pop f
+  done;
+  a
+
+exception Return_from_root of value
+
+(* Run the frame chain rooted (via parents) at [frame] to completion and
+   return the value produced by the outermost frame of the chain.  This is
+   the single entry point used both for fresh calls and for resuming
+   reconstructed continuations after deoptimization. *)
+let resume rt frame =
+  let current = ref (Some frame) in
+  let result = ref Null in
+  let return_value v =
+    match !current with
+    | None -> assert false
+    | Some f -> (
+      match f.parent with
+      | None ->
+        result := v;
+        current := None
+      | Some p ->
+        push p v;
+        current := Some p)
+  in
+  let rec call_method meth args =
+    match meth.mcode with
+    | Native (_, fn) ->
+      let v = fn rt args in
+      (match !current with
+      | Some f -> push f v
+      | None -> assert false)
+    | Bytecode _ ->
+      let f = make_frame ?parent:!current meth args in
+      current := Some f
+  and step f =
+    let code = match f.fmeth.mcode with
+      | Bytecode c -> c
+      | Native _ -> assert false
+    in
+    let i = code.(f.pc) in
+    f.pc <- f.pc + 1;
+    rt.interp_steps <- rt.interp_steps + 1;
+    match i with
+    | Const v -> push f v
+    | Load n -> push f f.locals.(n)
+    | Store n -> f.locals.(n) <- pop f
+    | Dup ->
+      let v = f.ostack.(f.sp - 1) in
+      push f v
+    | Pop -> ignore (pop f)
+    | Swap ->
+      let a = pop f and b = pop f in
+      push f a;
+      push f b
+    | Iop op ->
+      let y = pop_int f in
+      let x = pop_int f in
+      push f (Int (Value.iop_apply op x y))
+    | Ineg -> push f (Int (Value.wrap32 (-pop_int f)))
+    | Fop op ->
+      let y = pop_float f in
+      let x = pop_float f in
+      push f (Float (Value.fop_apply op x y))
+    | Fneg -> push f (Float (-.pop_float f))
+    | I2f -> push f (Float (float_of_int (pop_int f)))
+    | F2i -> push f (Int (Value.wrap32 (int_of_float (pop_float f))))
+    | If (c, t) ->
+      let y = pop_int f in
+      let x = pop_int f in
+      if Value.cond_apply c x y then f.pc <- t
+    | Iff (c, t) ->
+      let y = pop_float f in
+      let x = pop_float f in
+      if Value.fcond_apply c x y then f.pc <- t
+    | Ifz (c, t) ->
+      let x = pop_int f in
+      if Value.cond_apply c x 0 then f.pc <- t
+    | Ifnull (when_null, t) ->
+      let v = pop f in
+      let is_null = match v with Null -> true | _ -> false in
+      if is_null = when_null then f.pc <- t
+    | Goto t -> f.pc <- t
+    | New cls -> push f (Obj (Runtime.alloc rt cls))
+    | Getfield fd ->
+      let o = Value.to_obj (pop f) in
+      push f o.ofields.(fd.fidx)
+    | Putfield fd ->
+      let v = pop f in
+      let o = Value.to_obj (pop f) in
+      o.ofields.(fd.fidx) <- v
+    | Getglobal g -> push f (Runtime.get_global rt g)
+    | Putglobal g -> Runtime.set_global rt g (pop f)
+    | Newarr ->
+      let n = pop_int f in
+      push f (Arr (Array.make n Null))
+    | Newfarr ->
+      let n = pop_int f in
+      push f (Farr (Array.make n 0.0))
+    | Aload ->
+      let i = pop_int f in
+      let a = Value.to_arr (pop f) in
+      push f a.(i)
+    | Astore ->
+      let v = pop f in
+      let i = pop_int f in
+      let a = Value.to_arr (pop f) in
+      a.(i) <- v
+    | Faload ->
+      let i = pop_int f in
+      let a = Value.to_farr (pop f) in
+      push f (Float a.(i))
+    | Fastore ->
+      let v = pop_float f in
+      let i = pop_int f in
+      let a = Value.to_farr (pop f) in
+      a.(i) <- v
+    | Alen ->
+      (match pop f with
+      | Arr a -> push f (Int (Array.length a))
+      | Farr a -> push f (Int (Array.length a))
+      | _ -> vm_error "alen: not an array")
+    | Invoke (Static m) -> call_method m (pop_args f m.mnargs)
+    | Invoke (Special m) -> call_method m (pop_args f (m.mnargs + 1))
+    | Invoke (Virtual (name, argc, _)) ->
+      let args = pop_args f (argc + 1) in
+      let recv =
+        match args.(0) with
+        | Obj o -> o
+        | Null -> vm_error "null receiver for %s" name
+        | _ -> vm_error "invokevirtual %s on non-object" name
+      in
+      call_method (Classfile.resolve_virtual recv.ocls name) args
+    | Ret -> return_value Null
+    | Retv -> return_value (pop f)
+    | Trap msg -> vm_error "trap: %s" msg
+  in
+  while !current <> None do
+    match !current with Some f -> step f | None -> ()
+  done;
+  !result
+
+let call rt meth (args : value array) =
+  match meth.mcode with
+  | Native (_, fn) -> fn rt args
+  | Bytecode _ -> resume rt (make_frame meth args)
+
+(* Invoke a closure-like object: dispatches its [apply] method. *)
+let call_closure rt v (args : value array) =
+  match v with
+  | Obj o ->
+    let m = Classfile.resolve_virtual o.ocls "apply" in
+    call rt m (Array.append [| v |] args)
+  | _ -> vm_error "not a callable object"

@@ -1,0 +1,187 @@
+(* Builtin classes and native methods: Sys, Str, Math, Arr, CompiledFn and
+   the user-facing Lancet API class.  The Lancet methods have interpreter
+   fallbacks (freeze = force the thunk, directives = run the block, compile =
+   identity unless a compiler hook is installed), mirroring the paper's
+   [LancetLib] (plain signatures) / [LancetMacros] (compiler behaviour)
+   pairing: every program also runs unmodified without the JIT. *)
+
+open Types
+
+let arg = Array.get
+
+let bool_of v = Value.truthy v
+
+let call_closure rt f args = Interp.call_closure rt f args
+
+let split_on_char sep s =
+  String.split_on_char sep s |> List.map (fun s -> Str s) |> Array.of_list
+
+let install_sys rt =
+  let cls = Classfile.declare_class rt ~name:"Sys" ~fields:[] () in
+  let n name nargs fn = ignore (Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  n "print" 1 (fun rt a -> Runtime.output rt (Value.to_string (arg a 0)); Null);
+  n "println" 1 (fun rt a ->
+      Runtime.output rt (Value.to_string (arg a 0));
+      Runtime.output rt "\n";
+      Null);
+  n "read_file" 1 (fun _ a ->
+      let path = Value.to_str (arg a 0) in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Str s);
+  n "write_file" 2 (fun _ a ->
+      let oc = open_out_bin (Value.to_str (arg a 0)) in
+      output_string oc (Value.to_str (arg a 1));
+      close_out oc;
+      Null);
+  n "time_ms" 0 (fun _ _ -> Float (Unix.gettimeofday () *. 1000.0));
+  n "steps" 0 (fun rt _ -> Int rt.interp_steps);
+  n "veq" 2 (fun _ a -> Value.of_bool (Value.equal (arg a 0) (arg a 1)))
+
+let install_str rt =
+  let cls = Classfile.declare_class rt ~name:"Str" ~fields:[] () in
+  let n name nargs fn = ignore (Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  n "len" 1 (fun _ a -> Int (String.length (Value.to_str (arg a 0))));
+  n "concat" 2 (fun _ a ->
+      Str (Value.to_string (arg a 0) ^ Value.to_string (arg a 1)));
+  n "split" 2 (fun _ a ->
+      let s = Value.to_str (arg a 0) in
+      let sep = Value.to_str (arg a 1) in
+      if String.length sep <> 1 then vm_error "Str.split: separator must be one char";
+      Arr (split_on_char sep.[0] s));
+  n "index_of" 2 (fun _ a ->
+      let s = Value.to_str (arg a 0) and sub = Value.to_str (arg a 1) in
+      let ls = String.length s and lsub = String.length sub in
+      let rec go i =
+        if i + lsub > ls then -1
+        else if String.sub s i lsub = sub then i
+        else go (i + 1)
+      in
+      Int (go 0));
+  n "char_at" 2 (fun _ a ->
+      let s = Value.to_str (arg a 0) in
+      Int (Char.code s.[Value.to_int (arg a 1)]));
+  n "sub" 3 (fun _ a ->
+      Str (String.sub (Value.to_str (arg a 0)) (Value.to_int (arg a 1))
+             (Value.to_int (arg a 2))));
+  n "of_int" 1 (fun _ a -> Str (string_of_int (Value.to_int (arg a 0))));
+  n "of_float" 1 (fun _ a ->
+      Str (Format.asprintf "%g" (Value.to_float (arg a 0))));
+  n "of_char" 1 (fun _ a ->
+      Str (String.make 1 (Char.chr (Value.to_int (arg a 0) land 255))));
+  n "to_int" 1 (fun _ a ->
+      match int_of_string_opt (String.trim (Value.to_str (arg a 0))) with
+      | Some i -> Int i
+      | None -> vm_error "Str.to_int: %S" (Value.to_str (arg a 0)));
+  n "to_float" 1 (fun _ a ->
+      match float_of_string_opt (String.trim (Value.to_str (arg a 0))) with
+      | Some f -> Float f
+      | None -> vm_error "Str.to_float: %S" (Value.to_str (arg a 0)));
+  n "eq" 2 (fun _ a ->
+      Value.of_bool (String.equal (Value.to_str (arg a 0)) (Value.to_str (arg a 1))));
+  n "cmp" 2 (fun _ a ->
+      Int (compare (Value.to_str (arg a 0)) (Value.to_str (arg a 1))))
+
+let install_math rt =
+  let cls = Classfile.declare_class rt ~name:"Math" ~fields:[] () in
+  let n name nargs fn = ignore (Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  let f1 g = fun _ a -> Float (g (Value.to_float (arg a 0))) in
+  n "sqrt" 1 (f1 sqrt);
+  n "exp" 1 (f1 exp);
+  n "log" 1 (f1 log);
+  n "fabs" 1 (f1 abs_float);
+  n "pow" 2 (fun _ a ->
+      Float (Float.pow (Value.to_float (arg a 0)) (Value.to_float (arg a 1))));
+  n "iabs" 1 (fun _ a -> Int (abs (Value.to_int (arg a 0))));
+  n "imin" 2 (fun _ a -> Int (min (Value.to_int (arg a 0)) (Value.to_int (arg a 1))));
+  n "imax" 2 (fun _ a -> Int (max (Value.to_int (arg a 0)) (Value.to_int (arg a 1))));
+  n "fmin" 2 (fun _ a -> Float (min (Value.to_float (arg a 0)) (Value.to_float (arg a 1))));
+  n "fmax" 2 (fun _ a -> Float (max (Value.to_float (arg a 0)) (Value.to_float (arg a 1))))
+
+let install_arr rt =
+  let cls = Classfile.declare_class rt ~name:"Arr" ~fields:[] () in
+  let n name nargs fn = ignore (Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  n "copy" 1 (fun _ a ->
+      match arg a 0 with
+      | Arr x -> Arr (Array.copy x)
+      | Farr x -> Farr (Array.copy x)
+      | _ -> vm_error "Arr.copy: not an array");
+  n "fill" 2 (fun _ a ->
+      (match arg a 0 with
+      | Arr x -> Array.fill x 0 (Array.length x) (arg a 1)
+      | Farr x -> Array.fill x 0 (Array.length x) (Value.to_float (arg a 1))
+      | _ -> vm_error "Arr.fill: not an array");
+      Null)
+
+(* CompiledFn: an object whose [apply] runs an OCaml closure registered in
+   [rt.compiled].  Used for the results of Lancet.compile and to pass
+   OCaml-level functions into bytecode. *)
+let install_compiledfn rt =
+  let cls =
+    Classfile.declare_class rt ~name:"CompiledFn" ~fields:[ ("id", true) ] ()
+  in
+  let apply rt a =
+    match arg a 0 with
+    | Obj o ->
+      let id = Value.to_int o.ofields.(0) in
+      (Runtime.compiled_body rt id) (Array.sub a 1 (Array.length a - 1))
+    | _ -> vm_error "CompiledFn.apply on non-object"
+  in
+  ignore (Classfile.add_native rt cls ~name:"apply" ~nargs:4 apply)
+
+let make_compiled_fn rt fn =
+  let cls = Classfile.find_class rt "CompiledFn" in
+  let o = Runtime.alloc rt cls in
+  o.ofields.(0) <- Int (Runtime.register_compiled rt fn);
+  Obj o
+
+let install_lancet rt =
+  let cls = Classfile.declare_class rt ~name:"Lancet" ~fields:[] () in
+  let n name nargs fn = ignore (Classfile.add_native rt cls ~name ~static:true ~nargs fn) in
+  let run_block = fun rt a -> call_closure rt (arg a 0) [||] in
+  n "compile" 1 (fun rt a ->
+      match rt.compile_hook with
+      | Some hook -> hook rt (arg a 0)
+      | None -> arg a 0);
+  n "freeze" 1 run_block;
+  n "unroll" 1 (fun _ a -> arg a 0);
+  n "ntimes" 2 (fun rt a ->
+      let count = Value.to_int (arg a 0) in
+      for i = 0 to count - 1 do
+        ignore (call_closure rt (arg a 1) [| Int i |])
+      done;
+      Null);
+  n "likely" 1 (fun _ a -> arg a 0);
+  n "speculate" 1 (fun _ a -> arg a 0);
+  n "stable" 1 (fun rt a -> call_closure rt (arg a 0) [||]);
+  n "slowpath" 0 (fun _ _ -> Null);
+  n "fastpath" 0 (fun _ _ -> Null);
+  n "reset" 1 run_block;
+  n "shift" 1 (fun _ _ ->
+      vm_error "Lancet.shift captures continuations only in compiled code");
+  n "inline_always" 1 run_block;
+  n "inline_never" 1 run_block;
+  n "inline_nonrec" 1 run_block;
+  n "at_scope" 3 (fun rt a -> call_closure rt (arg a 2) [||]);
+  n "in_scope" 3 (fun rt a -> call_closure rt (arg a 2) [||]);
+  n "unroll_top_level" 1 run_block;
+  n "check_no_alloc" 1 run_block;
+  n "taint" 1 (fun _ a -> arg a 0);
+  n "untaint" 1 (fun _ a -> arg a 0);
+  n "check_no_leak" 1 run_block;
+  ignore bool_of
+
+let install rt =
+  install_sys rt;
+  install_str rt;
+  install_math rt;
+  install_arr rt;
+  install_compiledfn rt;
+  install_lancet rt
+
+let boot () =
+  let rt = Runtime.create () in
+  install rt;
+  rt

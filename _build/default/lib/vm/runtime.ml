@@ -1,0 +1,78 @@
+(* Runtime state: the heap (OCaml objects double as the VM heap, as the JVM
+   heap does in the paper's Fig. 6 [Runtime] interface), globals, output
+   capture, and the registry of compiled function bodies. *)
+
+open Types
+
+let create () =
+  {
+    classes = Hashtbl.create 64;
+    next_oid = 0;
+    next_cid = 0;
+    next_mid = 0;
+    globals = Array.make 16 Null;
+    next_global = 0;
+    out = None;
+    compiled = Hashtbl.create 16;
+    next_compiled = 0;
+    compile_hook = None;
+    interp_steps = 0;
+  }
+
+let alloc rt cls =
+  let o = { oid = rt.next_oid; ocls = cls; ofields = Array.make (Array.length cls.cfields) Null } in
+  rt.next_oid <- rt.next_oid + 1;
+  o
+
+let get_field o (f : field) = o.ofields.(f.fidx)
+
+let set_field o (f : field) v = o.ofields.(f.fidx) <- v
+
+let ensure_global rt i =
+  let n = Array.length rt.globals in
+  if i >= n then begin
+    let g = Array.make (max (i + 1) (2 * n)) Null in
+    Array.blit rt.globals 0 g 0 n;
+    rt.globals <- g
+  end
+
+let get_global rt i =
+  ensure_global rt i;
+  rt.globals.(i)
+
+let set_global rt i v =
+  ensure_global rt i;
+  rt.globals.(i) <- v
+
+let alloc_global rt =
+  let g = rt.next_global in
+  rt.next_global <- g + 1;
+  ensure_global rt g;
+  g
+
+let output rt s =
+  match rt.out with
+  | Some b -> Buffer.add_string b s
+  | None -> print_string s
+
+(* Redirect printed output into a buffer for the duration of [f]. *)
+let capture_output rt f =
+  let saved = rt.out in
+  let b = Buffer.create 256 in
+  rt.out <- Some b;
+  Fun.protect ~finally:(fun () -> rt.out <- saved) (fun () ->
+      let v = f () in
+      (Buffer.contents b, v))
+
+(* Compiled functions are exposed to bytecode as objects of the builtin class
+   CompiledFn, whose single field holds an index into [rt.compiled]. *)
+let register_compiled rt fn =
+  let id = rt.next_compiled in
+  rt.next_compiled <- id + 1;
+  Hashtbl.replace rt.compiled id fn;
+  id
+
+let compiled_body rt id =
+  match Hashtbl.find_opt rt.compiled id with
+  | Some f -> f
+  | None -> vm_error "no compiled function with id %d" id

@@ -1,0 +1,32 @@
+(** Runtime state: the heap (OCaml objects double as the VM heap, as the JVM
+    heap does in the paper's Fig. 6 Runtime interface), globals, output
+    capture, and the registry of compiled function bodies. *)
+
+open Types
+
+val create : unit -> runtime
+(** A fresh runtime with no classes; see {!Natives.boot} for one with the
+    builtin classes installed. *)
+
+val alloc : runtime -> cls -> obj
+(** Allocate an instance with all fields [Null]. *)
+
+val get_field : obj -> field -> value
+val set_field : obj -> field -> value -> unit
+
+val get_global : runtime -> int -> value
+val set_global : runtime -> int -> value -> unit
+
+val alloc_global : runtime -> int
+(** Reserve a fresh global slot (used by the Mini code generator). *)
+
+val output : runtime -> string -> unit
+(** Print to stdout, or into the capture buffer when one is active. *)
+
+val capture_output : runtime -> (unit -> 'a) -> string * 'a
+(** Redirect printed output into a buffer for the duration of the call. *)
+
+val register_compiled : runtime -> (value array -> value) -> int
+(** Register an OCaml function as a CompiledFn body; returns its id. *)
+
+val compiled_body : runtime -> int -> value array -> value

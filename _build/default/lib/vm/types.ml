@@ -1,0 +1,124 @@
+(* Core data model of the bytecode VM: runtime values, classes, methods and
+   instructions are mutually recursive (an object points to its class, a class
+   to its methods, a method's code to classes and fields), so they live in one
+   module. Operations are in the sibling modules [Value], [Classfile],
+   [Runtime], [Interp]. *)
+
+type value =
+  | Null
+  | Int of int (* ints, booleans (0/1) and characters *)
+  | Float of float
+  | Str of string (* immutable string primitive *)
+  | Obj of obj
+  | Arr of value array
+  | Farr of float array
+
+and obj = {
+  oid : int; (* unique identity, used by the abstract heap *)
+  ocls : cls;
+  ofields : value array;
+}
+
+and cls = {
+  cid : int;
+  cname : string;
+  csuper : cls option;
+  cfields : field array; (* flattened: inherited fields first *)
+  mutable cmethods : meth list; (* own methods, most recent first *)
+  cvtable : (string, meth) Hashtbl.t; (* resolved dispatch table *)
+  cflags : class_flag list;
+}
+
+and class_flag =
+  | Cf_js (* DOM/JS marker interface: calls cross-compile to JavaScript *)
+
+and field = {
+  fowner : string; (* defining class name *)
+  fname : string;
+  fidx : int; (* slot in [ofields] *)
+  ffinal : bool;
+}
+
+and meth = {
+  mid : int;
+  mname : string;
+  mowner : cls;
+  mstatic : bool;
+  mnargs : int; (* declared parameters, excluding the receiver *)
+  mutable mnlocals : int; (* local slots incl. receiver and parameters *)
+  mutable mmaxstack : int;
+  mutable mcode : code;
+}
+
+and code =
+  | Bytecode of instr array
+  | Native of string * (runtime -> value array -> value)
+    (* the string names the native for disassembly and macro matching *)
+
+and instr =
+  | Const of value
+  | Load of int
+  | Store of int
+  | Dup
+  | Pop
+  | Swap
+  | Iop of iop (* pops y then x, pushes [x op y] *)
+  | Ineg
+  | Fop of fop
+  | Fneg
+  | I2f
+  | F2i
+  | If of cond * int (* pops y then x (ints); jumps when [x cond y] *)
+  | Iff of cond * int (* float comparison branch *)
+  | Ifz of cond * int (* pops x; jumps when [x cond 0] *)
+  | Ifnull of bool * int (* jumps when top is Null (true) / non-Null (false) *)
+  | Goto of int
+  | New of cls
+  | Getfield of field
+  | Putfield of field (* pops value then receiver *)
+  | Getglobal of int
+  | Putglobal of int
+  | Newarr (* pops length, pushes fresh value array *)
+  | Newfarr (* pops length, pushes fresh float array *)
+  | Aload (* pops index then array *)
+  | Astore (* pops value, index, array *)
+  | Faload
+  | Fastore
+  | Alen (* length of either array kind *)
+  | Invoke of invoke
+  | Ret (* return Null *)
+  | Retv (* return top of stack *)
+  | Trap of string (* unconditional runtime failure *)
+
+and iop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+and fop = FAdd | FSub | FMul | FDiv
+
+and cond = Eq | Ne | Lt | Le | Gt | Ge
+
+and invoke =
+  | Static of meth
+  | Special of meth (* direct call: constructors, super calls *)
+  | Virtual of string * int * cls option
+    (* method name, parameter count, optional static receiver-type hint
+       emitted by the front-end (used for CHA devirtualization) *)
+
+and runtime = {
+  classes : (string, cls) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_cid : int;
+  mutable next_mid : int;
+  mutable globals : value array;
+  mutable next_global : int; (* allocation cursor for global slots *)
+  mutable out : Buffer.t option; (* when set, println etc. append here *)
+  compiled : (int, value array -> value) Hashtbl.t;
+    (* bodies of CompiledFn objects, keyed by their id field *)
+  mutable next_compiled : int;
+  mutable compile_hook : (runtime -> value -> value) option;
+    (* installed by Lancet: implements the [Lancet.compile] native *)
+  mutable interp_steps : int; (* instruction counter, for tests/benches *)
+}
+
+exception Vm_error of string
+
+let vm_error fmt = Format.kasprintf (fun s -> raise (Vm_error s)) fmt

@@ -1,0 +1,35 @@
+(** Operations on runtime values.  Integer arithmetic wraps to 32 bits
+    (the JVM-like semantics SafeInt's overflow detection relies on). *)
+
+open Types
+
+val to_int : value -> int
+val to_float : value -> float
+(** [to_float] also accepts [Int] (implicit widening). *)
+
+val to_str : value -> string
+val to_obj : value -> obj
+val to_arr : value -> value array
+val to_farr : value -> float array
+
+val of_bool : bool -> value
+(** Booleans are [Int 0]/[Int 1]. *)
+
+val truthy : value -> bool
+
+val equal : value -> value -> bool
+(** Structural on primitives and arrays; identity on objects. *)
+
+val pp : Format.formatter -> value -> unit
+val to_string : value -> string
+(** Like [pp] but strings render without quotes (used by print natives). *)
+
+val wrap32 : int -> int
+(** Truncate to signed 32-bit, the semantics of all VM integer ops. *)
+
+val iop_apply : iop -> int -> int -> int
+(** @raise Types.Vm_error on division/remainder by zero. *)
+
+val fop_apply : fop -> float -> float -> float
+val cond_apply : cond -> int -> int -> bool
+val fcond_apply : cond -> float -> float -> bool

@@ -1,0 +1,139 @@
+(* Bytecode verifier: a dataflow pass over a method's instructions checking
+   the structural properties the interpreter and the Lancet compiler rely on:
+
+   - the operand stack never underflows and stays within [mmaxstack];
+   - every join point is reached with a consistent stack depth;
+   - local slots are within [mnlocals];
+   - branch targets are in range and fall-through off the end is impossible
+     (the assembler appends an implicit return);
+   - [Invoke] argument counts are representable at the current depth.
+
+   Runs in O(code size); the Mini code generator's output is verified in the
+   test suite, and the CLI verifies files it loads. *)
+
+open Types
+
+type error = { v_pc : int; v_msg : string }
+
+exception Verify_error of meth * error
+
+let error m pc fmt =
+  Format.kasprintf (fun s -> raise (Verify_error (m, { v_pc = pc; v_msg = s }))) fmt
+
+let pops_pushes (m : meth) pc (i : instr) : int * int =
+  match i with
+  | Const _ | Load _ | New _ | Getglobal _ -> (0, 1)
+  | Store _ | Pop | Putglobal _ | Ifz _ | Ifnull _ -> (1, 0)
+  | Dup -> (1, 2)
+  | Swap -> (2, 2)
+  | Iop _ | Fop _ | Aload | Faload -> (2, 1)
+  | Ineg | Fneg | I2f | F2i | Alen | Newarr | Newfarr -> (1, 1)
+  | If _ | Iff _ | Putfield _ -> (2, 0)
+  | Getfield _ -> (1, 1)
+  | Astore | Fastore -> (3, 0)
+  | Invoke inv ->
+    let argc =
+      match inv with
+      | Static c -> c.mnargs
+      | Special c -> c.mnargs + 1
+      | Virtual (_, n, _) -> n + 1
+    in
+    if argc < 0 then error m pc "negative argument count";
+    (argc, 1)
+  | Goto _ -> (0, 0)
+  | Ret | Trap _ -> (0, 0)
+  | Retv -> (1, 0)
+
+let check_locals (m : meth) pc (i : instr) =
+  let check n what =
+    if n < 0 || n >= m.mnlocals then
+      error m pc "%s of out-of-range local %d (nlocals=%d)" what n m.mnlocals
+  in
+  match i with
+  | Load n -> check n "load"
+  | Store n -> check n "store"
+  | Const _ | Dup | Pop | Swap | Iop _ | Ineg | Fop _ | Fneg | I2f | F2i
+  | If _ | Iff _ | Ifz _ | Ifnull _ | Goto _ | New _ | Getfield _
+  | Putfield _ | Getglobal _ | Putglobal _ | Newarr | Newfarr | Aload
+  | Astore | Faload | Fastore | Alen | Invoke _ | Ret | Retv | Trap _ ->
+    ()
+
+let successors_of (m : meth) pc (i : instr) n =
+  let target t =
+    if t < 0 || t >= n then error m pc "branch target %d out of range" t;
+    t
+  in
+  match i with
+  | Goto t -> [ target t ]
+  | If (_, t) | Iff (_, t) | Ifz (_, t) | Ifnull (_, t) ->
+    [ target t; pc + 1 ]
+  | Ret | Retv | Trap _ -> []
+  | Const _ | Load _ | Store _ | Dup | Pop | Swap | Iop _ | Ineg | Fop _
+  | Fneg | I2f | F2i | New _ | Getfield _ | Putfield _ | Getglobal _
+  | Putglobal _ | Newarr | Newfarr | Aload | Astore | Faload | Fastore | Alen
+  | Invoke _ ->
+    [ pc + 1 ]
+
+(* Verify one method; raises [Verify_error] on the first violation. *)
+let verify (m : meth) : unit =
+  match m.mcode with
+  | Native _ -> ()
+  | Bytecode code ->
+    let n = Array.length code in
+    if n = 0 then error m 0 "empty body";
+    let depth = Array.make n (-1) in
+    let work = Queue.create () in
+    depth.(0) <- 0;
+    Queue.add 0 work;
+    while not (Queue.is_empty work) do
+      let pc = Queue.pop work in
+      let d = depth.(pc) in
+      let i = code.(pc) in
+      check_locals m pc i;
+      let pops, pushes = pops_pushes m pc i in
+      if d < pops then
+        error m pc "stack underflow: depth %d, instruction pops %d" d pops;
+      let d' = d - pops + pushes in
+      if d' > m.mmaxstack then
+        error m pc "stack overflow: depth %d exceeds maxstack %d" d' m.mmaxstack;
+      let succs = successors_of m pc i n in
+      if succs = [] && (match i with Ret | Retv | Trap _ -> false | _ -> true)
+      then error m pc "control falls off the end";
+      List.iter
+        (fun pc' ->
+          if pc' >= n then error m pc "fall-through past the end of the code";
+          if depth.(pc') < 0 then begin
+            depth.(pc') <- d';
+            Queue.add pc' work
+          end
+          else if depth.(pc') <> d' then
+            error m pc' "inconsistent stack depth at join: %d vs %d"
+              depth.(pc') d')
+        succs
+    done
+
+let verify_class (cls : cls) : unit = List.iter verify cls.cmethods
+
+(* Verify every bytecode method in the runtime; returns the number checked. *)
+let verify_all (rt : runtime) : int =
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun _ cls ->
+      List.iter
+        (fun m ->
+          match m.mcode with
+          | Bytecode _ ->
+            verify m;
+            incr count
+          | Native _ -> ())
+        cls.cmethods)
+    rt.classes;
+  !count
+
+let () =
+  Printexc.register_printer (function
+    | Verify_error (m, e) ->
+      Some
+        (Printf.sprintf "Verify_error in %s.%s at pc %d: %s" m.mowner.cname
+           m.mname e.v_pc e.v_msg)
+    | _ -> None)

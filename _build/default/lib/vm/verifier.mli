@@ -1,0 +1,18 @@
+(** Bytecode verifier: checks the structural properties the interpreter and
+    the Lancet compiler rely on — no stack underflow/overflow, consistent
+    stack depth at joins, in-range locals and branch targets, no
+    fall-through off the end. *)
+
+open Types
+
+type error = { v_pc : int; v_msg : string }
+
+exception Verify_error of meth * error
+
+val verify : meth -> unit
+(** @raise Verify_error on the first violation; natives verify trivially. *)
+
+val verify_class : cls -> unit
+
+val verify_all : runtime -> int
+(** Verify every bytecode method; returns how many were checked. *)

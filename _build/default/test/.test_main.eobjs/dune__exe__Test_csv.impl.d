@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csvlib Lancet List Lms Mini Printf String Util

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Extras Jsdom Lancet List Lms Mini Query String Util Vm

@@ -1,0 +1,1 @@
+test/test_lancet.ml: Alcotest Array Lancet List Lms Mini Option Printf QCheck QCheck_alcotest Util Vm

@@ -1,0 +1,1 @@
+test/test_lms.ml: Alcotest Builder Closure_backend Ir Lms Pretty Printf QCheck QCheck_alcotest Toy Util Vm

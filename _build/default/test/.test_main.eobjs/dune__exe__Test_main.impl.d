@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_csv Test_extras Test_lancet Test_lms Test_mini Test_optiml Test_safeint Test_vm

@@ -1,0 +1,1 @@
+test/test_mini.ml: Alcotest Ast Front Lexer List Mini Parser Printf QCheck QCheck_alcotest String Util Vm

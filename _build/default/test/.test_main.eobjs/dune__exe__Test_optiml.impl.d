@@ -1,0 +1,1 @@
+test/test_optiml.ml: Alcotest Array Delite Float Gen Lancet List Lms Mini Optiml Printf QCheck QCheck_alcotest Util Vm

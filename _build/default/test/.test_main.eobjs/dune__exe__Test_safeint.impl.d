@@ -1,0 +1,1 @@
+test/test_safeint.ml: Alcotest Bigint Gen Lancet List Lms Mini QCheck QCheck_alcotest Safeint String Util Vm

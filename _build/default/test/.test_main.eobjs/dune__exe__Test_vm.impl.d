@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Assembler Classfile Disasm Gen Interp List Mini Natives Printf QCheck QCheck_alcotest Runtime Util Value Verifier Vm

@@ -1,0 +1,84 @@
+(* CSV workload tests: all four Table 1 configurations agree on the result;
+   the specialized version actually specializes (record + schema lookups
+   compiled away). *)
+
+let text = Csvlib.Gen.generate ~seed:42 ~bytes:20_000
+
+let reference = Csvlib.Harness.reference text
+
+let check_config name cfg () =
+  let r, _ = Csvlib.Harness.run cfg text in
+  Alcotest.(check int) name reference r
+
+let test_specialized_graph () =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt Csvlib.Mini_src.specialized in
+  ignore (Mini.Front.call p "run_specialized" [| Str text |]);
+  match !Lancet.Compiler.last_graph with
+  | None -> Alcotest.fail "no compilation happened"
+  | Some g ->
+    let s = Lms.Pretty.graph_to_string g in
+    (* the record abstraction is gone: no RecordS allocation, and the
+       name-to-column scan (index_of) left no residual call *)
+    Alcotest.(check bool) "no RecordS allocation" false
+      (Util.contains_sub s "new RecordS");
+    Alcotest.(check bool) "no residual index_of" false
+      (Util.contains_sub s "index_of")
+
+let test_generic_keeps_lookup () =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt Csvlib.Mini_src.generic in
+  let clo = Mini.Front.call p "make_generic" [||] in
+  ignore (Lancet.Compiler.compile_value rt clo);
+  match !Lancet.Compiler.last_graph with
+  | None -> Alcotest.fail "no graph"
+  | Some g ->
+    (* generic code must still perform dynamic schema scans: the residual
+       graph contains array loads inside a loop (blocks with params) *)
+    let s = Lms.Pretty.graph_to_string g in
+    Alcotest.(check bool) "still scans at runtime" true
+      (Util.contains_sub s "aload")
+
+let test_foreach_unrolls () =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt Csvlib.Mini_src.specialized in
+  let small = "A,B,C\n1,2,3\n" in
+  let out = Mini.Front.call p "concat_fields" [| Str small |] in
+  Alcotest.check Util.value "foreach over schema" (Str "A=1;B=2;C=3;") out
+
+let test_generator_shape () =
+  let t = Csvlib.Gen.generate ~seed:1 ~bytes:5_000 in
+  let lines = String.split_on_char '\n' t in
+  (match lines with
+  | header :: _ ->
+    Alcotest.(check int) "20 columns" 20
+      (List.length (String.split_on_char ',' header))
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check bool) "size close to request" true
+    (String.length t >= 5_000 && String.length t < 6_000)
+
+let test_sizes_agree () =
+  (* different sizes, same checksum across native and specialized *)
+  List.iter
+    (fun bytes ->
+      let t = Csvlib.Gen.generate ~seed:7 ~bytes in
+      let expect = Csvlib.Harness.reference t in
+      let r, _ = Csvlib.Harness.run Csvlib.Harness.Specialized t in
+      Alcotest.(check int) (Printf.sprintf "bytes=%d" bytes) expect r)
+    [ 2_000; 50_000 ]
+
+let suite =
+  [
+    Alcotest.test_case "native" `Quick (check_config "native" Csvlib.Harness.Native);
+    Alcotest.test_case "interpreted" `Quick
+      (check_config "interpreted" Csvlib.Harness.Interpreted);
+    Alcotest.test_case "generic-compiled" `Quick
+      (check_config "generic" Csvlib.Harness.Generic_compiled);
+    Alcotest.test_case "specialized" `Quick
+      (check_config "specialized" Csvlib.Harness.Specialized);
+    Alcotest.test_case "specialized-graph" `Quick test_specialized_graph;
+    Alcotest.test_case "generic-keeps-lookup" `Quick test_generic_keeps_lookup;
+    Alcotest.test_case "foreach-unrolls" `Quick test_foreach_unrolls;
+    Alcotest.test_case "generator-shape" `Quick test_generator_shape;
+    Alcotest.test_case "sizes-agree" `Quick test_sizes_agree;
+  ]

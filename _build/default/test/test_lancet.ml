@@ -1,0 +1,645 @@
+(* Tests for the Lancet core: explicit compilation, specialization through
+   abstract interpretation, partial escape analysis, JIT macros, controlled
+   inlining, speculation/deoptimization and JIT analyses. *)
+
+open Vm.Types
+module C = Lancet.Compiler
+
+let check_value = Alcotest.check Util.value
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* boot a runtime with the JIT installed and a Mini program loaded *)
+let load src =
+  let rt = Lancet.Api.boot () in
+  let p = Mini.Front.load rt src in
+  (rt, p)
+
+(* fetch a closure produced by Mini function [fname], compile it, and return
+   both the compiled entry and a plain-interpretation entry *)
+let compile_closure_of (rt, p) fname =
+  let clo = Mini.Front.call p fname [||] in
+  let compiled = C.compile_value rt clo in
+  let call_compiled args = Vm.Interp.call_closure rt compiled args in
+  let call_interp args = Vm.Interp.call_closure rt clo args in
+  (call_compiled, call_interp)
+
+let graph_nodes () =
+  match !C.last_graph with
+  | Some g -> Lms.Ir.node_count g
+  | None -> Alcotest.fail "no graph recorded"
+
+(* ---------- basic compilation ---------- *)
+
+let test_compile_identity () =
+  let h = load "def make(): (int) -> int = fun (x: int) => x + 1" in
+  let compiled, interp = compile_closure_of h "make" in
+  check_value "compiled x+1" (Int 42) (compiled [| Int 41 |]);
+  check_value "interp matches" (interp [| Int 41 |]) (compiled [| Int 41 |])
+
+let test_compile_capture_const () =
+  (* captured val becomes a compile-time constant: residual code is tiny *)
+  let h =
+    load
+      "def make(): (int) -> int = { val k = 10; val c = k * 10; fun (x: int) \
+       => x * c + k }"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "x*100+10" (Int 510) (compiled [| Int 5 |]);
+  (* one multiply + one add survive; the captures folded *)
+  check_int "residual node count" 2 (graph_nodes ())
+
+let test_compile_loop () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (n: int) => { var i = 0; var acc = 0; \
+       while (i < n) { acc = acc + i; i = i + 1 }; acc }"
+  in
+  let compiled, interp = compile_closure_of h "make" in
+  check_value "sum 100" (Int 4950) (compiled [| Int 100 |]);
+  check_value "sum 0" (Int 0) (compiled [| Int 0 |]);
+  check_value "consistent" (interp [| Int 17 |]) (compiled [| Int 17 |])
+
+let test_compile_branch () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => if (x < 0) -x else x"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "abs -7" (Int 7) (compiled [| Int (-7) |]);
+  check_value "abs 7" (Int 7) (compiled [| Int 7 |])
+
+let test_constant_folding_through_branch () =
+  (* statically-true condition folds the whole branch away *)
+  let h =
+    load
+      "def make(): (int) -> int = { val flag = true; fun (x: int) => if \
+       (flag) x + 1 else x - 1 }"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "took then branch" (Int 6) (compiled [| Int 5 |]);
+  check_int "branch eliminated" 1 (graph_nodes ())
+
+let test_inlined_helper () =
+  (* calls are inlined by default; the helper disappears *)
+  let h =
+    load
+      "def double(x: int): int = x * 2\n\
+       def make(): (int) -> int = fun (x: int) => double(x) + double(x)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "2x+2x" (Int 20) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "no residual calls" false (Util.contains_sub s "call Main")
+
+let test_virtual_object_elided () =
+  (* the paper's headline: object allocation compiled away entirely *)
+  let h =
+    load
+      {|
+class Pair {
+  val a: int
+  val b: int
+  def init(a: int, b: int): unit = { this.a = a; this.b = b }
+  def sum(): int = this.a + this.b
+}
+def make(): (int) -> int = fun (x: int) => {
+  val p = new Pair(x, x * 2);
+  p.sum()
+}
+|}
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "pair sum" (Int 15) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "no allocation in residual code" false (Util.contains_sub s "new Pair");
+  check_bool "no field reads either" false (Util.contains_sub s "getfield")
+
+let test_virtual_across_branch () =
+  (* virtual object flows through a join without materializing *)
+  let h =
+    load
+      {|
+class Box2 {
+  var v: int
+  def init(v: int): unit = { this.v = v }
+}
+def make(): (int) -> int = fun (x: int) => {
+  val b = new Box2(1);
+  if (x > 0) { b.v = x } else { b.v = -x };
+  b.v + 100
+}
+|}
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "pos" (Int 105) (compiled [| Int 5 |]);
+  check_value "neg" (Int 103) (compiled [| Int (-3) |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "Box2 never allocated" false (Util.contains_sub s "new Box2")
+
+let test_escape_materializes () =
+  (* storing the object into an array forces materialization *)
+  let h =
+    load
+      {|
+class Cell { var v: int; def init(v: int): unit = { this.v = v } }
+def make(): (array[Cell]) -> int = fun (out: array[Cell]) => {
+  val c = new Cell(7);
+  out[0] = c;
+  c.v
+}
+|}
+  in
+  let rt, _ = h in
+  let compiled, _ = compile_closure_of h "make" in
+  let arr = Arr [| Null |] in
+  check_value "returns field" (Int 7) (compiled [| arr |]);
+  (match (Vm.Value.to_arr arr).(0) with
+  | Obj o -> check_value "escaped object holds 7" (Int 7) o.ofields.(0)
+  | _ -> Alcotest.fail "object did not escape");
+  ignore rt
+
+(* ---------- macros ---------- *)
+
+let test_freeze () =
+  let h =
+    load
+      {|
+def make(): (int) -> int = {
+  val table = new array[int](4);
+  table[0] = 100; table[1] = 200; table[2] = 300; table[3] = 400;
+  fun (i: int) => Lancet.freeze(fun () => table[2]) + i
+}
+|}
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "frozen read" (Int 301) (compiled [| Int 1 |]);
+  (* residual: just one add — the array read happened at compile time *)
+  check_int "array read folded" 1 (graph_nodes ())
+
+let test_freeze_dynamic_fails () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => Lancet.freeze(fun () => x + 1)"
+  in
+  let rt, p = h in
+  let clo = Mini.Front.call p "make" [||] in
+  (match C.compile_value rt clo with
+  | exception Lancet.Errors.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected Compile_error for dynamic freeze")
+
+let test_ntimes_unrolls () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => { var acc = 0; Lancet.ntimes(4, \
+       fun (i: int) => { acc = acc + x + i }); acc }"
+  in
+  let compiled, interp = compile_closure_of h "make" in
+  check_value "unrolled sum" (Int 26) (compiled [| Int 5 |]);
+  check_value "same as interp" (interp [| Int 5 |]) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "loop gone (no blocks with params)" false (Util.contains_sub s "jump")
+
+let test_speculate () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => if (Lancet.speculate(x < 100)) \
+       x + 1 else x * 1000"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  let d0 = !C.count_deopts in
+  check_value "fast path" (Int 6) (compiled [| Int 5 |]);
+  check_int "no deopt on fast path" d0 !C.count_deopts;
+  (* speculation fails: deoptimize into the interpreter, still correct *)
+  check_value "slow path via interpreter" (Int 500000) (compiled [| Int 500 |]);
+  check_int "one deopt" (d0 + 1) !C.count_deopts
+
+let test_slowpath_diverges_branch () =
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => if (x < 100) x + 1 else { \
+       Lancet.slowpath(); x * 1000 }"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "fast" (Int 2) (compiled [| Int 1 |]);
+  check_value "deopt path result" (Int 7000000) (compiled [| Int 7000 |]);
+  (* the slow-path multiply must NOT be in compiled code *)
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "multiply eliminated from compiled code" false
+    (Util.contains_sub s "imul")
+
+let test_stable_recompiles () =
+  let h =
+    load
+      {|
+var mode: int = 1
+def make(): (int) -> int = fun (x: int) =>
+  if (Lancet.stable(fun () => mode == 1)) x + 1 else x - 1
+|}
+  in
+  let rt, p = h in
+  let clo = Mini.Front.call p "make" [||] in
+  let compiled = C.compile_value rt clo in
+  let call args = Vm.Interp.call_closure rt compiled args in
+  check_value "stable true" (Int 11) (call [| Int 10 |]);
+  let r0 = !C.count_recompiles in
+  (* flip the mode: guard fails once, recompilation kicks in *)
+  Vm.Runtime.set_global rt 0 (Int 2);
+  check_value "after flip, correct result" (Int 9) (call [| Int 10 |]);
+  check_int "one recompile" (r0 + 1) !C.count_recompiles;
+  (* subsequent calls run the recompiled fast path, no further deopts *)
+  let d = !C.count_deopts in
+  check_value "recompiled result" (Int 9) (call [| Int 10 |]);
+  check_int "no new deopt" d !C.count_deopts
+
+let test_inline_never_directive () =
+  let h =
+    load
+      "def helper(x: int): int = x * 3\n\
+       def make(): (int) -> int = fun (x: int) => Lancet.inline_never(fun () \
+       => helper(x) + 1)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "correct result" (Int 16) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "helper remains a call" true (Util.contains_sub s ".helper")
+
+let test_at_scope () =
+  let h =
+    load
+      "def io_write(x: int): int = x + 1\n\
+       def work(x: int): int = io_write(x) * 2\n\
+       def make(): (int) -> int = fun (x: int) => Lancet.at_scope(\"io_\", \
+       \"inline_never\", fun () => work(x))"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "correct" (Int 12) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  check_bool "io_write not inlined" true (Util.contains_sub s ".io_write");
+  check_bool "work was inlined" false (Util.contains_sub s ".work")
+
+let test_check_no_alloc_pass () =
+  let h =
+    load
+      {|
+class P2 { val a: int; def init(a: int): unit = { this.a = a } }
+def make(): (int) -> int = fun (x: int) =>
+  Lancet.check_no_alloc(fun () => { val p = new P2(x); p.a + 1 })
+|}
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "no-alloc region runs" (Int 8) (compiled [| Int 7 |])
+
+let test_check_no_alloc_fail () =
+  let h =
+    load
+      "def make(): (int) -> array[int] = fun (x: int) => \
+       Lancet.check_no_alloc(fun () => new array[int](x))"
+  in
+  let rt, p = h in
+  let clo = Mini.Front.call p "make" [||] in
+  (match C.compile_value rt clo with
+  | exception Lancet.Errors.Compile_error msg ->
+    check_bool "mentions allocation" true (Util.contains_sub msg "alloc")
+  | _ -> Alcotest.fail "expected checkNoAlloc to fail")
+
+let test_taint_leak () =
+  let h =
+    load
+      "def make(): (int) -> unit = fun (x: int) => Lancet.check_no_leak(fun \
+       () => { val secret = Lancet.taint(x); Sys.println(secret) })"
+  in
+  let rt, p = h in
+  let clo = Mini.Front.call p "make" [||] in
+  (match C.compile_value rt clo with
+  | exception Lancet.Errors.Compile_error msg ->
+    check_bool "mentions sink" true (Util.contains_sub msg "sink")
+  | _ -> Alcotest.fail "expected checkNoLeak to fail")
+
+let test_taint_untaint_ok () =
+  let h =
+    load
+      "def make(): (int) -> unit = fun (x: int) => Lancet.check_no_leak(fun \
+       () => { val secret = Lancet.taint(x); Sys.println(Lancet.untaint(secret)) })"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  let out, _ =
+    Vm.Runtime.capture_output (fst h) (fun () -> compiled [| Int 5 |])
+  in
+  Alcotest.(check string) "prints" "5\n" out
+
+let test_compiled_string_ops_fold () =
+  (* pure natives on constants fold at compile time *)
+  let h =
+    load
+      {|
+def make(): (int) -> int = {
+  val s = "hello,world";
+  fun (x: int) => Str.index_of(s, ",") + x
+}
+|}
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "5 + 1" (Int 6) (compiled [| Int 1 |]);
+  check_int "index_of folded away" 1 (graph_nodes ())
+
+(* the two-way integration: bytecode invoking Lancet.compile at runtime *)
+let test_compile_from_bytecode () =
+  let h =
+    load
+      {|
+def main(): int = {
+  val k = 10;
+  val f = Lancet.compile(fun (x: int) => x * k);
+  f(5) + f(6)
+}
+|}
+  in
+  let rt, p = h in
+  ignore rt;
+  check_value "compiled within program" (Int 110) (Mini.Front.call p "main" [||])
+
+let suite =
+  [
+    Alcotest.test_case "compile-identity" `Quick test_compile_identity;
+    Alcotest.test_case "capture-const" `Quick test_compile_capture_const;
+    Alcotest.test_case "compile-loop" `Quick test_compile_loop;
+    Alcotest.test_case "compile-branch" `Quick test_compile_branch;
+    Alcotest.test_case "fold-static-branch" `Quick test_constant_folding_through_branch;
+    Alcotest.test_case "inline-helper" `Quick test_inlined_helper;
+    Alcotest.test_case "virtual-object-elided" `Quick test_virtual_object_elided;
+    Alcotest.test_case "virtual-across-branch" `Quick test_virtual_across_branch;
+    Alcotest.test_case "escape-materializes" `Quick test_escape_materializes;
+    Alcotest.test_case "freeze" `Quick test_freeze;
+    Alcotest.test_case "freeze-dynamic-fails" `Quick test_freeze_dynamic_fails;
+    Alcotest.test_case "ntimes-unrolls" `Quick test_ntimes_unrolls;
+    Alcotest.test_case "speculate-deopt" `Quick test_speculate;
+    Alcotest.test_case "slowpath" `Quick test_slowpath_diverges_branch;
+    Alcotest.test_case "stable-recompile" `Quick test_stable_recompiles;
+    Alcotest.test_case "inline-never" `Quick test_inline_never_directive;
+    Alcotest.test_case "at-scope" `Quick test_at_scope;
+    Alcotest.test_case "check-no-alloc-pass" `Quick test_check_no_alloc_pass;
+    Alcotest.test_case "check-no-alloc-fail" `Quick test_check_no_alloc_fail;
+    Alcotest.test_case "taint-leak" `Quick test_taint_leak;
+    Alcotest.test_case "taint-untaint" `Quick test_taint_untaint_ok;
+    Alcotest.test_case "fold-pure-natives" `Quick test_compiled_string_ops_fold;
+    Alcotest.test_case "compile-from-bytecode" `Quick test_compile_from_bytecode;
+  ]
+
+(* ---------- property: compiled == interpreted on random programs ------- *)
+
+let fresh_loop = ref 100
+
+let gen_mini_stmts =
+  QCheck.Gen.(
+    let var = oneofl [ "c"; "r" ] in
+    let rec gen_exp k =
+      if k <= 0 then
+        oneof [ map string_of_int (int_range (-9) 9); oneofl [ "a"; "b"; "c"; "r" ] ]
+      else
+        frequency
+          [
+            (2, gen_exp 0);
+            ( 3,
+              map2
+                (fun x y -> Printf.sprintf "(%s + %s)" x y)
+                (gen_exp (k / 2)) (gen_exp (k / 2)) );
+            ( 2,
+              map2
+                (fun x y -> Printf.sprintf "(%s - %s)" x y)
+                (gen_exp (k / 2)) (gen_exp (k / 2)) );
+            ( 1,
+              map2
+                (fun x y -> Printf.sprintf "(%s * %s)" x y)
+                (gen_exp (k / 2)) (gen_exp (k / 2)) );
+          ]
+    in
+    let rec gen_stm k =
+      let assign = map2 (Printf.sprintf "%s = %s") var (gen_exp 2) in
+      if k <= 0 then assign
+      else
+        frequency
+          [
+            (3, assign);
+            (2, map2 (Printf.sprintf "%s; %s") (gen_stm (k / 2)) (gen_stm (k / 2)));
+            ( 2,
+              map3
+                (fun c t f ->
+                  Printf.sprintf "if (%s < 3) { %s } else { %s }" c t f)
+                (gen_exp 1) (gen_stm (k / 2)) (gen_stm (k / 2)) );
+            ( 1,
+              map2
+                (fun bound body ->
+                  incr fresh_loop;
+                  let v = Printf.sprintf "l%d" !fresh_loop in
+                  Printf.sprintf
+                    "var %s = 0; while (%s < %d) { %s; %s = %s + 1 }" v v bound
+                    body v v)
+                (int_range 0 6) (gen_stm (k / 3)) );
+          ]
+    in
+    sized (fun k -> gen_stm (min k 12)))
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make ~name:"Lancet-compiled == interpreted" ~count:120
+    (QCheck.make ~print:(fun s -> s) gen_mini_stmts)
+    (fun stmts ->
+      let src =
+        Printf.sprintf
+          "def make(): (int, int) -> int = fun (a: int, b: int) => { var c = \
+           0; var r = 0; %s; r }"
+          stmts
+      in
+      let rt = Lancet.Api.boot () in
+      let p = Mini.Front.load rt src in
+      let clo = Mini.Front.call p "make" [||] in
+      let compiled = C.compile_value rt clo in
+      List.for_all
+        (fun (a, b) ->
+          Vm.Value.equal
+            (Vm.Interp.call_closure rt clo [| Int a; Int b |])
+            (Vm.Interp.call_closure rt compiled [| Int a; Int b |]))
+        [ (0, 0); (3, -7); (11, 5); (-2, 9) ])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_compiled_equals_interpreted ]
+
+(* ---------- delimited continuations (paper Sec. 3.2 shift/reset) ------- *)
+
+let test_reset_no_shift () =
+  let h =
+    load "def make(): (int) -> int = fun (x: int) => Lancet.reset(fun () => x + 1)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "plain reset" (Int 6) (compiled [| Int 5 |])
+
+let test_shift_abort () =
+  (* shift that never invokes k: aborts to the reset with the body's value *)
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => Lancet.reset(fun () => \
+       Lancet.shift(fun (k: (int) -> int) => 42) + x)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "abort discards continuation" (Int 42) (compiled [| Int 5 |])
+
+let test_shift_invoke () =
+  (* k(10) resumes the continuation: (10 + x) is computed in the interpreter *)
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => Lancet.reset(fun () => \
+       Lancet.shift(fun (k: (int) -> int) => k(10) + 1) + x)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "k(10) + 1 = (10 + 5) + 1" (Int 16) (compiled [| Int 5 |])
+
+let test_shift_multishot () =
+  (* invoking k twice: continuations are multi-shot *)
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => Lancet.reset(fun () => \
+       Lancet.shift(fun (k: (int) -> int) => k(1) + k(2)) * x)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  (* k(v) = v * x; so k(1) + k(2) = x + 2x = 3x *)
+  check_value "multi-shot" (Int 21) (compiled [| Int 7 |])
+
+let test_shift_through_call () =
+  (* the continuation crosses an inlined call boundary *)
+  let h =
+    load
+      "def wrap(x: int): int = Lancet.shift(fun (k: (int) -> int) => k(x) + \
+       1000)\n\
+       def make(): (int) -> int = fun (x: int) => Lancet.reset(fun () => \
+       wrap(x) * 2)"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  (* k(v) = v * 2; result = x*2 + 1000 *)
+  check_value "continuation across inlining" (Int 1010) (compiled [| Int 5 |])
+
+let test_in_scope_directive () =
+  (* inScope applies the directive inside the matched method *)
+  let h =
+    load
+      "def inner(x: int): int = x * 3\n\
+       def work(x: int): int = inner(x) + 1\n\
+       def make(): (int) -> int = fun (x: int) => Lancet.in_scope(\"work\", \
+       \"inline_never\", fun () => work(x))"
+  in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "correct" (Int 16) (compiled [| Int 5 |]);
+  let g = match !C.last_graph with Some g -> g | None -> assert false in
+  let s = Lms.Pretty.graph_to_string g in
+  (* work itself is inlined, but inner (inside work) is not *)
+  check_bool "work inlined" false (Util.contains_sub s ".work");
+  check_bool "inner residual" true (Util.contains_sub s ".inner")
+
+let test_taint_branch () =
+  (* branching on tainted data is flagged (timing side channels, Sec. 3.3) *)
+  let h =
+    load
+      "def make(): (int) -> int = fun (x: int) => Lancet.check_no_leak(fun \
+       () => { val secret = Lancet.taint(x); if (secret > 0) 1 else 0 })"
+  in
+  let rt, p = h in
+  let clo = Mini.Front.call p "make" [||] in
+  (match C.compile_value rt clo with
+  | exception Lancet.Errors.Compile_error msg ->
+    check_bool "mentions branch" true (Util.contains_sub msg "branch")
+  | _ -> Alcotest.fail "expected branch-on-taint to be rejected");
+  ignore rt
+
+let test_ntimes_gated_unroll () =
+  (* large trip counts stay loops unless unrollTopLevel is in scope *)
+  let src k wrap =
+    Printf.sprintf
+      "def loopy(x: int): int = { var acc = 0; Lancet.ntimes(%d, fun (i: \
+       int) => { acc = acc + i }); acc + x }\n\
+       def make(): (int) -> int = fun (x: int) => %s"
+      k wrap
+  in
+  let h = load (src 200 "loopy(x)") in
+  let compiled, _ = compile_closure_of h "make" in
+  check_value "big loop result" (Int (19900 + 5)) (compiled [| Int 5 |]);
+  let s = Lms.Pretty.graph_to_string (Option.get !C.last_graph) in
+  check_bool "stays a residual loop or call" true
+    (Util.contains_sub s "jump" || Util.contains_sub s "ntimes");
+  (* now under the directive (the paper's atScope("loopy")(unrollTopLevel)) *)
+  let h2 =
+    load
+      (src 200
+         "Lancet.at_scope(\"loopy\", \"unroll_top_level\", fun () => loopy(x))")
+  in
+  let compiled2, _ = compile_closure_of h2 "make" in
+  check_value "unrolled result" (Int (19900 + 5)) (compiled2 [| Int 5 |]);
+  let s2 = Lms.Pretty.graph_to_string (Option.get !C.last_graph) in
+  check_bool "fully unrolled" false
+    (Util.contains_sub s2 "jump" || Util.contains_sub s2 "ntimes")
+
+(* typed backend == boxed backend on random programs *)
+let prop_typed_equals_boxed =
+  QCheck.Test.make ~name:"typed backend == boxed backend" ~count:80
+    (QCheck.make ~print:(fun s -> s) gen_mini_stmts)
+    (fun stmts ->
+      let src =
+        Printf.sprintf
+          "def f(a: int, b: int): int = { var c = 0; var r = 0; %s; r }" stmts
+      in
+      let rt = Lancet.Api.boot () in
+      let p = Mini.Front.load rt src in
+      let m = Mini.Front.find_function p "f" in
+      let spec = [| C.Dyn; C.Dyn |] in
+      let boxed = C.compile_method ~typed:false rt m spec in
+      let typed = C.compile_method ~typed:true rt m spec in
+      List.for_all
+        (fun (a, b) ->
+          Vm.Value.equal (boxed [| Int a; Int b |]) (typed [| Int a; Int b |]))
+        [ (0, 0); (3, -7); (11, 5) ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "reset-plain" `Quick test_reset_no_shift;
+      Alcotest.test_case "shift-abort" `Quick test_shift_abort;
+      Alcotest.test_case "shift-invoke" `Quick test_shift_invoke;
+      Alcotest.test_case "shift-multishot" `Quick test_shift_multishot;
+      Alcotest.test_case "shift-across-call" `Quick test_shift_through_call;
+      Alcotest.test_case "in-scope" `Quick test_in_scope_directive;
+      Alcotest.test_case "taint-branch" `Quick test_taint_branch;
+      Alcotest.test_case "ntimes-gated-unroll" `Quick test_ntimes_gated_unroll;
+      QCheck_alcotest.to_alcotest prop_typed_equals_boxed;
+    ]
+
+(* deoptimization stress: random programs with speculation guards that fail
+   on some inputs; compiled execution (including OSR-out frame
+   reconstruction) must match plain interpretation everywhere *)
+let prop_deopt_stress =
+  QCheck.Test.make ~name:"speculation deopt == interpretation" ~count:60
+    (QCheck.make ~print:(fun s -> s) gen_mini_stmts)
+    (fun stmts ->
+      let src =
+        Printf.sprintf
+          "def helper(c: int, r: int): int = if (Lancet.speculate(c < 5)) r \
+           + c else r * 2 - c\n\
+           def make(): (int, int) -> int = fun (a: int, b: int) => { var c = \
+           0; var r = 0; %s; helper(c, r) }"
+          stmts
+      in
+      let rt = Lancet.Api.boot () in
+      let p = Mini.Front.load rt src in
+      let clo = Mini.Front.call p "make" [||] in
+      let compiled = C.compile_value rt clo in
+      List.for_all
+        (fun (a, b) ->
+          Vm.Value.equal
+            (Vm.Interp.call_closure rt clo [| Int a; Int b |])
+            (Vm.Interp.call_closure rt compiled [| Int a; Int b |]))
+        [ (0, 0); (9, 9); (3, -7); (100, 4); (-2, 63) ])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_deopt_stress ]

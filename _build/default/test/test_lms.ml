@@ -1,0 +1,333 @@
+(* Tests for the LMS-style IR layer: builder, CSE, DCE, the closure backend,
+   and the toy staged interpreter (paper Sec. 2.1-2.2, Fig. 5). *)
+
+open Lms
+
+let rt = Vm.Natives.boot ()
+
+let check_int = Alcotest.(check int)
+
+(* --- builder / backend basics ------------------------------------- *)
+
+let test_straightline () =
+  let b = Builder.create ~name:"add" ~nparams:2 () in
+  let x = Builder.param b 0 Ir.Tint and y = Builder.param b 1 Ir.Tint in
+  let s = Builder.iop b Vm.Types.Add x y in
+  let s2 = Builder.iop b Vm.Types.Mul s (Builder.int b 3) in
+  Builder.ret b s2;
+  let fn =
+    Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt)
+      (Builder.graph b)
+  in
+  check_int "((4+5)*3)" 27 (Vm.Value.to_int (fn [| Int 4; Int 5 |]))
+
+let test_cse () =
+  let b = Builder.create ~name:"cse" ~nparams:2 () in
+  let x = Builder.param b 0 Ir.Tint and y = Builder.param b 1 Ir.Tint in
+  let s1 = Builder.iop b Vm.Types.Add x y in
+  let s2 = Builder.iop b Vm.Types.Add x y in
+  Alcotest.(check bool) "x+y hash-consed" true (s1 = s2);
+  let s3 = Builder.iop b Vm.Types.Add y x in
+  Alcotest.(check bool) "y+x is distinct" true (s1 <> s3);
+  Builder.ret b s1
+
+let test_dce () =
+  let b = Builder.create ~name:"dce" ~nparams:1 () in
+  let x = Builder.param b 0 Ir.Tint in
+  let _dead = Builder.iop b Vm.Types.Mul x (Builder.int b 100) in
+  let live = Builder.iop b Vm.Types.Add x (Builder.int b 1) in
+  Builder.ret b live;
+  let g = Builder.graph b in
+  Ir.dead_code_elim g;
+  check_int "only live node remains" 1 (Ir.node_count g);
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "x+1" 8 (Vm.Value.to_int (fn [| Int 7 |]))
+
+let test_branch_join () =
+  (* abs(x) via branch with a join param *)
+  let b = Builder.create ~name:"abs" ~nparams:1 () in
+  let g = Builder.graph b in
+  let x = Builder.param b 0 Ir.Tint in
+  let c = Builder.icmp b Vm.Types.Lt x (Builder.int b 0) in
+  let bneg = Builder.new_block b and bjoin = Builder.new_block b in
+  Builder.br b c (bneg, [||]) (bjoin, [| x |]);
+  Builder.switch_to b bneg;
+  let nx = Builder.emit b Ir.Ineg [| x |] Ir.Tint in
+  Builder.jump b bjoin [| nx |];
+  let p = Ir.add_block_param g bjoin Ir.Tint in
+  Builder.switch_to b bjoin;
+  Builder.ret b p;
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "abs -5" 5 (Vm.Value.to_int (fn [| Int (-5) |]));
+  check_int "abs 9" 9 (Vm.Value.to_int (fn [| Int 9 |]))
+
+let test_loop () =
+  (* sum 0..n-1 with a loop header carrying (i, acc) *)
+  let b = Builder.create ~name:"sum" ~nparams:1 () in
+  let g = Builder.graph b in
+  let n = Builder.param b 0 Ir.Tint in
+  let zero = Builder.int b 0 in
+  let head = Builder.new_block b in
+  Builder.jump b head [| zero; zero |];
+  let i = Ir.add_block_param g head Ir.Tint in
+  let acc = Ir.add_block_param g head Ir.Tint in
+  Builder.switch_to b head;
+  let c = Builder.icmp b Vm.Types.Lt i n in
+  let body = Builder.new_block b and exit = Builder.new_block b in
+  Builder.br b c (body, [||]) (exit, [||]);
+  Builder.switch_to b body;
+  let acc' = Builder.iop b Vm.Types.Add acc i in
+  let i' = Builder.iop b Vm.Types.Add i (Builder.int b 1) in
+  Builder.jump b head [| i'; acc' |];
+  Builder.switch_to b exit;
+  Builder.ret b acc;
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "sum 10" 45 (Vm.Value.to_int (fn [| Int 10 |]));
+  check_int "sum 0" 0 (Vm.Value.to_int (fn [| Int 0 |]))
+
+let test_loop_swap () =
+  (* rotating loop params exercises the parallel-copy path: fib-ish *)
+  let b = Builder.create ~name:"swap" ~nparams:1 () in
+  let g = Builder.graph b in
+  let n = Builder.param b 0 Ir.Tint in
+  let head = Builder.new_block b in
+  Builder.jump b head [| Builder.int b 0; Builder.int b 1; Builder.int b 0 |];
+  let a = Ir.add_block_param g head Ir.Tint in
+  let bb = Ir.add_block_param g head Ir.Tint in
+  let i = Ir.add_block_param g head Ir.Tint in
+  Builder.switch_to b head;
+  let c = Builder.icmp b Vm.Types.Lt i n in
+  let body = Builder.new_block b and exit = Builder.new_block b in
+  Builder.br b c (body, [||]) (exit, [||]);
+  Builder.switch_to b body;
+  let s = Builder.iop b Vm.Types.Add a bb in
+  let i' = Builder.iop b Vm.Types.Add i (Builder.int b 1) in
+  (* pass (b, a+b): b becomes a — a swap-like rotation *)
+  Builder.jump b head [| bb; s; i' |];
+  Builder.switch_to b exit;
+  Builder.ret b a;
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "fib 10" 55 (Vm.Value.to_int (fn [| Int 10 |]))
+
+let test_heap_ops () =
+  let cls =
+    Vm.Classfile.declare_class rt ~name:"PointLms"
+      ~fields:[ ("x", false); ("y", false) ] ()
+  in
+  let fx = Vm.Classfile.field cls "x" and fy = Vm.Classfile.field cls "y" in
+  let b = Builder.create ~name:"pt" ~nparams:2 () in
+  let p0 = Builder.param b 0 Ir.Tint and p1 = Builder.param b 1 Ir.Tint in
+  let o = Builder.emit b (Ir.NewObj cls) [||] Ir.Tobj in
+  let _ = Builder.emit b (Ir.Putfield fx) [| o; p0 |] Ir.Tunit in
+  let _ = Builder.emit b (Ir.Putfield fy) [| o; p1 |] Ir.Tunit in
+  let rx = Builder.emit b (Ir.Getfield fx) [| o |] Ir.Tint in
+  let ry = Builder.emit b (Ir.Getfield fy) [| o |] Ir.Tint in
+  Builder.ret b (Builder.iop b Vm.Types.Add rx ry);
+  let fn =
+    Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt)
+      (Builder.graph b)
+  in
+  check_int "field roundtrip" 30 (Vm.Value.to_int (fn [| Int 10; Int 20 |]))
+
+let test_pretty () =
+  let b = Builder.create ~name:"pp" ~nparams:1 () in
+  let x = Builder.param b 0 Ir.Tint in
+  Builder.ret b (Builder.iop b Vm.Types.Add x (Builder.int b 2));
+  let s = Pretty.graph_to_string (Builder.graph b) in
+  Alcotest.(check bool) "mentions iadd" true (Util.contains_sub s "iadd")
+
+(* --- toy staged interpreter ---------------------------------------- *)
+
+open Toy
+
+let toy_pow =
+  (* res = 1; while (i < n) { res = res * base; i = i + 1 } *)
+  Seq
+    [
+      Assign ("res", Const 1);
+      Assign ("i", Const 0);
+      While
+        ( Lt (Var "i", Var "n"),
+          Seq
+            [
+              Assign ("res", Times (Var "res", Var "base"));
+              Assign ("i", Plus (Var "i", Const 1));
+            ] );
+    ]
+
+let test_toy_interp () =
+  check_int "interp pow 2^10" 1024
+    (run_interp ~inputs:[ "base"; "n" ] ~result:"res" toy_pow [ 2; 10 ])
+
+let test_toy_compile () =
+  let fn = compile rt ~inputs:[ "base"; "n" ] ~result:"res" toy_pow in
+  check_int "compiled pow 2^10" 1024 (fn [ 2; 10 ]);
+  check_int "compiled pow 3^4" 81 (fn [ 3; 4 ])
+
+let test_toy_const_fold () =
+  (* with constant inputs the whole loop folds away *)
+  let prog =
+    Seq [ Assign ("n", Const 5); Assign ("base", Const 2); toy_pow ]
+  in
+  let g = stage ~inputs:[] ~result:"res" prog in
+  check_int "fully static program residualizes to nothing" 0 (Ir.node_count g);
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "result" 32 (Vm.Value.to_int (fn [||]))
+
+let test_toy_partially_static () =
+  (* base static, n dynamic: multiplications stay, bookkeeping folds *)
+  let prog = Seq [ Assign ("base", Const 2); toy_pow ] in
+  let g = stage ~inputs:[ "n" ] ~result:"res" prog in
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "2^8" 256 (Vm.Value.to_int (fn [| Int 8 |]))
+
+let test_toy_if_join () =
+  let prog =
+    Seq
+      [
+        Assign ("r", Const 0);
+        If (Lt (Var "x", Const 10), Assign ("r", Const 1), Assign ("r", Const 2));
+      ]
+  in
+  let fn = compile rt ~inputs:[ "x" ] ~result:"r" prog in
+  check_int "then" 1 (fn [ 3 ]);
+  check_int "else" 2 (fn [ 30 ])
+
+let test_toy_static_if () =
+  let prog =
+    Seq
+      [
+        Assign ("x", Const 3);
+        If (Lt (Var "x", Const 10), Assign ("r", Const 1), Assign ("r", Const 2));
+      ]
+  in
+  let g = stage ~inputs:[] ~result:"r" prog in
+  check_int "static if residualizes to nothing" 0 (Ir.node_count g)
+
+(* qcheck property: staged-then-compiled == interpreted, over random progs *)
+let gen_exp =
+  QCheck.Gen.(
+    sized @@ fix (fun self k ->
+        let leaf =
+          oneof
+            [
+              map (fun i -> Toy.Const i) (int_range (-20) 20);
+              oneofl [ Toy.Var "a"; Toy.Var "b"; Toy.Var "c" ];
+            ]
+        in
+        if k <= 0 then leaf
+        else
+          frequency
+            [
+              (2, leaf);
+              ( 3,
+                map2
+                  (fun a b -> Toy.Plus (a, b))
+                  (self (k / 2)) (self (k / 2)) );
+              ( 2,
+                map2
+                  (fun a b -> Toy.Minus (a, b))
+                  (self (k / 2)) (self (k / 2)) );
+              ( 2,
+                map2
+                  (fun a b -> Toy.Times (a, b))
+                  (self (k / 2)) (self (k / 2)) );
+              (1, map2 (fun a b -> Toy.Lt (a, b)) (self (k / 2)) (self (k / 2)));
+            ]))
+
+(* Loop counters get fresh names never assigned by loop bodies, so every
+   generated program terminates. *)
+let loop_counter = ref 0
+
+let gen_stm =
+  QCheck.Gen.(
+    sized @@ fix (fun self k ->
+        let assign =
+          map2
+            (fun x e -> Toy.Assign (x, e))
+            (oneofl [ "a"; "b"; "c"; "r" ])
+            (gen_exp >|= fun e -> e)
+        in
+        if k <= 0 then assign
+        else
+          frequency
+            [
+              (3, assign);
+              ( 2,
+                map2 (fun a b -> Toy.Seq [ a; b ]) (self (k / 2)) (self (k / 2))
+              );
+              ( 2,
+                map3
+                  (fun c t f -> Toy.If (c, t, f))
+                  gen_exp (self (k / 2)) (self (k / 2)) );
+              ( 1,
+                (* bounded loop: while (v < const) { body; v = v + 1 } with a
+                   fresh counter v that the body cannot mention *)
+                map2
+                  (fun bound body ->
+                    incr loop_counter;
+                    let v = Printf.sprintf "loop%d" !loop_counter in
+                    Toy.Seq
+                      [
+                        Toy.Assign (v, Toy.Const 0);
+                        Toy.While
+                          ( Toy.Lt (Toy.Var v, Toy.Const bound),
+                            Toy.Seq
+                              [
+                                body;
+                                Toy.Assign (v, Toy.Plus (Toy.Var v, Toy.Const 1));
+                              ] );
+                      ])
+                  (int_range 0 8) (self (k / 3)) );
+            ]))
+
+(* avoid division in random programs (Div by zero raises in both, but the
+   interpreter raises OCaml Division_by_zero while staged code may fold) *)
+let prop_staged_equals_interp =
+  QCheck.Test.make ~name:"staged interpreter == direct interpreter" ~count:200
+    (QCheck.make ~print:Lms.Toy.stm_to_string gen_stm)
+    (fun prog ->
+      let inputs = [ "a"; "b" ] in
+      let args = [ 3; -7 ] in
+      let expected = run_interp ~inputs ~result:"r" prog args in
+      let fn = compile rt ~inputs ~result:"r" prog in
+      fn args = expected)
+
+let suite =
+  [
+    Alcotest.test_case "straightline" `Quick test_straightline;
+    Alcotest.test_case "cse" `Quick test_cse;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "branch-join" `Quick test_branch_join;
+    Alcotest.test_case "loop" `Quick test_loop;
+    Alcotest.test_case "loop-param-rotation" `Quick test_loop_swap;
+    Alcotest.test_case "heap-ops" `Quick test_heap_ops;
+    Alcotest.test_case "pretty" `Quick test_pretty;
+    Alcotest.test_case "toy-interp" `Quick test_toy_interp;
+    Alcotest.test_case "toy-compile" `Quick test_toy_compile;
+    Alcotest.test_case "toy-const-fold" `Quick test_toy_const_fold;
+    Alcotest.test_case "toy-partially-static" `Quick test_toy_partially_static;
+    Alcotest.test_case "toy-if-join" `Quick test_toy_if_join;
+    Alcotest.test_case "toy-static-if" `Quick test_toy_static_if;
+    QCheck_alcotest.to_alcotest prop_staged_equals_interp;
+  ]
+
+let test_dce_cross_block () =
+  (* regression: a value defined in one block and consumed only by a later
+     block's terminator must survive DCE (needs a second marking pass) *)
+  let b = Builder.create ~name:"dce2" ~nparams:2 () in
+  let a = Builder.param b 0 Ir.Tint and bb = Builder.param b 1 Ir.Tint in
+  let x = Builder.iop b Vm.Types.Sub bb (Builder.int b 0) in
+  let y = Builder.iop b Vm.Types.Sub a bb in
+  let z = Builder.iop b Vm.Types.Add x y in
+  let next = Builder.new_block b in
+  Builder.jump b next [||];
+  Builder.switch_to b next;
+  Builder.ret b z;
+  let g = Builder.graph b in
+  Ir.dead_code_elim g;
+  check_int "all three ops survive" 3 (Ir.node_count g);
+  let fn = Closure_backend.compile ~hooks:(Closure_backend.default_hooks rt) g in
+  check_int "(b-0)+(a-b) = a" 3 (Vm.Value.to_int (fn [| Int 3; Int 9 |]))
+
+let suite = suite @ [ Alcotest.test_case "dce-cross-block" `Quick test_dce_cross_block ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "lancet-repro"
+    [
+      ("vm", Test_vm.suite);
+      ("lms", Test_lms.suite);
+      ("mini", Test_mini.suite);
+      ("lancet", Test_lancet.suite);
+      ("csv", Test_csv.suite);
+      ("optiml", Test_optiml.suite);
+      ("safeint", Test_safeint.suite);
+      ("extras", Test_extras.suite);
+    ]

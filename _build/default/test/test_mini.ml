@@ -1,0 +1,488 @@
+(* End-to-end tests for the Mini front-end: lexer, parser, typechecker and
+   code generator, validated by running compiled programs on the VM
+   interpreter. *)
+
+open Mini
+
+let check_value = Alcotest.check Util.value
+let check_str = Alcotest.(check string)
+
+let run ?(args = [||]) src fname = snd (Front.run_function ~args src fname)
+let run_out ?(args = [||]) src fname = fst (Front.run_capture ~args src fname)
+
+let expect_type_error src =
+  match Front.typecheck src with
+  | exception Ast.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected a type error"
+
+let expect_syntax_error src =
+  match Parser.parse_program src with
+  | exception Ast.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "expected a syntax error"
+
+(* --- lexer ---------------------------------------------------------- *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokens_of_string "def f(x: int): int = x + 1 // c" in
+  Alcotest.(check int) "token count" 14 (List.length toks);
+  (match toks with
+  | Lexer.KW "def" :: Lexer.IDENT "f" :: _ -> ()
+  | _ -> Alcotest.fail "bad prefix");
+  let toks = Lexer.tokens_of_string "\"a\\nb\" 1.5 1e3 42" in
+  (match toks with
+  | [ Lexer.STRING "a\nb"; Lexer.FLOAT 1.5; Lexer.FLOAT 1000.0; Lexer.INT 42; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "bad literals")
+
+let test_lexer_comments () =
+  let toks = Lexer.tokens_of_string "1 /* multi \n line */ 2 // eol\n3" in
+  match toks with
+  | [ Lexer.INT 1; Lexer.INT 2; Lexer.INT 3; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_two_char () =
+  let toks = Lexer.tokens_of_string "== != <= >= && || => <- ->" in
+  Alcotest.(check int) "9 puncts + eof" 10 (List.length toks)
+
+(* --- basic programs ------------------------------------------------- *)
+
+let test_arith () =
+  check_value "arith" (Vm.Types.Int 17)
+    (run "def main(): int = { 2 + 3 * 5 }" "main");
+  check_value "precedence" (Vm.Types.Int 1)
+    (run "def main(): int = { 7 % 2 * 3 - 2 }" "main");
+  check_value "neg" (Vm.Types.Int (-5)) (run "def main(): int = { -5 }" "main");
+  check_value "float" (Vm.Types.Float 7.5)
+    (run "def main(): float = { 2.5 * 3.0 }" "main")
+
+let test_mixed_arith () =
+  (* implicit int->float coercion *)
+  check_value "int + float" (Vm.Types.Float 3.5)
+    (run "def main(): float = { 1 + 2.5 }" "main")
+
+let test_locals () =
+  check_value "let" (Vm.Types.Int 30)
+    (run "def main(): int = { val x = 10; var y = x * 2; y = y + x; y }" "main")
+
+let test_while () =
+  check_value "while loop" (Vm.Types.Int 4950)
+    (run
+       "def main(): int = { var i = 0; var acc = 0; while (i < 100) { acc = \
+        acc + i; i = i + 1 }; acc }"
+       "main")
+
+let test_for () =
+  check_value "for loop" (Vm.Types.Int 45)
+    (run "def main(): int = { var acc = 0; for (i <- 0 until 10) { acc = acc + i }; acc }"
+       "main")
+
+let test_if () =
+  check_value "if value" (Vm.Types.Int 1)
+    (run "def main(): int = { if (3 < 5) 1 else 2 }" "main");
+  check_value "if unit" (Vm.Types.Int 7)
+    (run "def main(): int = { var x = 0; if (true) { x = 7 }; x }" "main")
+
+let test_bools () =
+  (* && must not evaluate its right operand (1/n would trap) *)
+  check_value "short-circuit and" (Vm.Types.Int 0)
+    (run "def main(): int = { var n = 0; if (false && (1 / n) == 1) 1 else 0 }"
+       "main");
+  check_value "or" (Vm.Types.Int 1)
+    (run "def main(): int = { if (true || false) 1 else 0 }" "main");
+  check_value "not" (Vm.Types.Int 1)
+    (run "def main(): int = { if (!false) 1 else 0 }" "main")
+
+let test_strings () =
+  check_value "concat" (Vm.Types.Str "ab3")
+    (run {|def main(): string = { "a" + "b" + 3 }|} "main");
+  check_value "eq" (Vm.Types.Int 1)
+    (run {|def main(): bool = { "xy" == "x" + "y" }|} "main");
+  check_value "cmp" (Vm.Types.Int 1)
+    (run {|def main(): bool = { "abc" < "abd" }|} "main");
+  check_value "builtin len" (Vm.Types.Int 5)
+    (run {|def main(): int = { Str.len("hello") }|} "main")
+
+let test_arrays () =
+  check_value "array ops" (Vm.Types.Int 30)
+    (run
+       "def main(): int = { val a = new array[int](3); a[0] = 10; a[1] = 20; \
+        a[0] + a[1] + a[2] * 100 }"
+       "main");
+  check_value "length" (Vm.Types.Int 7)
+    (run "def main(): int = { val a = new array[string](7); a.length }" "main");
+  check_value "farray" (Vm.Types.Float 6.0)
+    (run
+       "def main(): float = { val a = new farray(2); a[0] = 2.0; a[1] = 3.0; \
+        a[0] * a[1] }"
+       "main")
+
+let test_functions () =
+  check_value "calls" (Vm.Types.Int 21)
+    (run "def twice(x: int): int = x * 2\ndef main(): int = twice(10) + 1" "main");
+  check_value "recursion" (Vm.Types.Int 120)
+    (run
+       "def fact(n: int): int = if (n <= 1) 1 else n * fact(n - 1)\n\
+        def main(): int = fact(5)"
+       "main")
+
+let test_args () =
+  check_value "args" (Vm.Types.Int 30)
+    (run ~args:[| Vm.Types.Int 10; Vm.Types.Int 20 |]
+       "def main(a: int, b: int): int = a + b" "main")
+
+let test_classes () =
+  let src =
+    {|
+class Point {
+  var x: int
+  var y: int
+  def init(x: int, y: int): unit = { this.x = x; this.y = y }
+  def norm1(): int = Math.iabs(this.x) + Math.iabs(this.y)
+  def move(dx: int, dy: int): unit = { this.x = this.x + dx; this.y = this.y + dy }
+}
+def main(): int = {
+  val p = new Point(3, -4);
+  p.move(1, 1);
+  p.norm1() + p.x * 100
+}
+|}
+  in
+  check_value "classes" (Vm.Types.Int 407) (run src "main")
+
+let test_inheritance () =
+  let src =
+    {|
+class Animal {
+  var name: string
+  def init(n: string): unit = { this.name = n }
+  def sound(): string = "..."
+  def describe(): string = this.name + " says " + this.sound()
+}
+class Dog extends Animal {
+  def sound(): string = "woof"
+}
+class Cat extends Animal {
+  def sound(): string = "meow"
+}
+def main(): string = {
+  val d = new Dog("rex");
+  val c = new Cat("tom");
+  d.describe() + "/" + c.describe()
+}
+|}
+  in
+  check_value "inheritance+dispatch" (Vm.Types.Str "rex says woof/tom says meow")
+    (run src "main")
+
+let test_final_fields () =
+  let src =
+    {|
+class C {
+  val k: int
+  def init(k: int): unit = { this.k = k }
+  def get(): int = this.k
+}
+def main(): int = new C(9).get()
+|}
+  in
+  check_value "final set in init" (Vm.Types.Int 9) (run src "main");
+  expect_type_error
+    {|
+class C {
+  val k: int
+  def init(k: int): unit = { this.k = k }
+  def bad(): unit = { this.k = 3 }
+}
+|}
+
+let test_closures () =
+  check_value "closure" (Vm.Types.Int 15)
+    (run
+       "def main(): int = { val add = fun (a: int, b: int) => a + b; add(7, 8) }"
+       "main");
+  check_value "capture val" (Vm.Types.Int 30)
+    (run
+       "def main(): int = { val k = 10; val f = fun (x: int) => x * k; f(3) }"
+       "main");
+  check_value "higher order" (Vm.Types.Int 9)
+    (run
+       "def apply2(f: (int) -> int, x: int): int = f(f(x))\n\
+        def main(): int = apply2(fun (x: int) => x + 3, 3)"
+       "main")
+
+let test_mutable_capture () =
+  (* a captured var is shared: writes inside the closure are seen outside *)
+  let src =
+    {|
+def main(): int = {
+  var count = 0;
+  val inc = fun (n: int) => { count = count + n; 0 };
+  inc(5);
+  inc(7);
+  count
+}
+|}
+  in
+  check_value "boxed capture" (Vm.Types.Int 12) (run src "main")
+
+let test_nested_closures () =
+  let src =
+    {|
+def main(): int = {
+  var acc = 1;
+  val outer = fun (x: int) => {
+    val inner = fun (y: int) => { acc = acc + x * y; 0 };
+    inner(2);
+    inner(3);
+    0
+  };
+  outer(10);
+  acc
+}
+|}
+  in
+  check_value "nested capture through two levels" (Vm.Types.Int 51) (run src "main")
+
+let test_closure_returning_closure () =
+  let src =
+    {|
+def adder(n: int): (int) -> int = fun (x: int) => x + n
+def main(): int = {
+  val add5 = adder(5);
+  val add7 = adder(7);
+  add5(10) + add7(100)
+}
+|}
+  in
+  check_value "closure factory" (Vm.Types.Int 122) (run src "main")
+
+let test_this_capture () =
+  let src =
+    {|
+class Counter {
+  var n: int
+  def init(): unit = { this.n = 0 }
+  def incrementer(): (int) -> int = fun (k: int) => { this.n = this.n + k; this.n }
+}
+def main(): int = {
+  val c = new Counter();
+  val inc = c.incrementer();
+  inc(3);
+  inc(4)
+}
+|}
+  in
+  check_value "this captured" (Vm.Types.Int 7) (run src "main")
+
+let test_globals () =
+  let src =
+    {|
+var total: int = 0
+val greeting = "hi"
+def bump(n: int): unit = { total = total + n }
+def main(): string = {
+  bump(3); bump(4);
+  greeting + total
+}
+|}
+  in
+  check_value "globals" (Vm.Types.Str "hi7") (run src "main")
+
+let test_closure_fields () =
+  let src =
+    {|
+class Handler {
+  var f: (int) -> int
+  def init(f: (int) -> int): unit = { this.f = f }
+  def run(x: int): int = this.f(x)
+}
+def main(): int = {
+  val h = new Handler(fun (x: int) => x * 3);
+  h.run(5) + h.f(1)
+}
+|}
+  in
+  check_value "closure-valued field" (Vm.Types.Int 18) (run src "main")
+
+let test_print_output () =
+  let out =
+    run_out
+      {|def main(): unit = { Sys.println("hello"); Sys.print(1 + 2); Sys.println("") }|}
+      "main"
+  in
+  check_str "printed" "hello\n3\n" out
+
+let test_for_each_pattern () =
+  (* foreach via closures over arrays, the paper's higher-order pattern *)
+  let src =
+    {|
+def foreach(a: array[int], f: (int) -> unit): unit = {
+  for (i <- 0 until a.length) { f(a[i]) }
+}
+def main(): int = {
+  val a = new array[int](5);
+  for (i <- 0 until 5) { a[i] = i * i };
+  var sum = 0;
+  foreach(a, fun (x: int) => { sum = sum + x });
+  sum
+}
+|}
+  in
+  check_value "foreach" (Vm.Types.Int 30) (run src "main")
+
+let test_null () =
+  let src =
+    {|
+class Node {
+  var next: Node
+  var v: int
+}
+def main(): int = {
+  val n = new Node();
+  if (n.next == null) 1 else 0
+}
+|}
+  in
+  check_value "null field" (Vm.Types.Int 1) (run src "main")
+
+let test_lancet_fallback_freeze () =
+  (* Lancet API runs in plain interpreter mode with identity semantics *)
+  let src =
+    {|
+def main(): int = {
+  val schema = "a,b,c";
+  val n = Lancet.freeze(fun () => Str.len(schema));
+  Lancet.ntimes(2, fun (i: int) => Sys.print(i));
+  if (Lancet.likely(n == 5)) n else 0
+}
+|}
+  in
+  check_value "lancet natives" (Vm.Types.Int 5) (run src "main")
+
+let test_string_escape_roundtrip () =
+  check_value "escapes" (Vm.Types.Str "a\tb\nc")
+    (run {|def main(): string = "a\tb\nc"|} "main")
+
+(* --- error cases ---------------------------------------------------- *)
+
+let test_type_errors () =
+  expect_type_error "def main(): int = { 1 + \"x\" - 2 }";
+  expect_type_error "def main(): int = { true + 1 }";
+  expect_type_error "def main(): int = { val x = 1; x = 2; x }";
+  expect_type_error "def main(): int = { y }";
+  expect_type_error "def main(): int = { if (1) 2 else 3 }";
+  expect_type_error "def main(): unit = { val f = fun (x: int) => x; f(true) }";
+  expect_type_error "class A { def m(): int = 1 }\nclass B extends A { def m(): string = \"x\" }";
+  expect_type_error "def main(): int = new Nope()";
+  expect_type_error "def main(): int = { val a = new array[int](2); a[0.5] }";
+  expect_type_error "def f(x: int): int = x\ndef main(): int = f(1, 2)"
+
+let test_syntax_errors () =
+  expect_syntax_error "def main(: int = 1";
+  expect_syntax_error "def main(): int = { 1 + }";
+  expect_syntax_error "class { }";
+  expect_syntax_error "def main(): int = \"unterminated"
+
+let test_shadowing () =
+  check_value "inner shadows outer" (Vm.Types.Int 12)
+    (run
+       "def main(): int = { val x = 2; val y = { val x = 10; x }; x + y }"
+       "main")
+
+(* property: random arithmetic expressions evaluate like OCaml ints (wrap32) *)
+let prop_arith =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self k ->
+          if k <= 0 then map (fun i -> string_of_int i) (int_range 0 50)
+          else
+            frequency
+              [
+                (1, map (fun i -> string_of_int i) (int_range 0 50));
+                ( 2,
+                  map2
+                    (fun a b -> Printf.sprintf "(%s + %s)" a b)
+                    (self (k / 2)) (self (k / 2)) );
+                ( 2,
+                  map2
+                    (fun a b -> Printf.sprintf "(%s - %s)" a b)
+                    (self (k / 2)) (self (k / 2)) );
+                ( 1,
+                  map2
+                    (fun a b -> Printf.sprintf "(%s * %s)" a b)
+                    (self (k / 2)) (self (k / 2)) );
+              ]))
+  in
+  QCheck.Test.make ~name:"mini arithmetic matches reference" ~count:60
+    (QCheck.make ~print:(fun s -> s) gen)
+    (fun src_expr ->
+      (* reference evaluation by OCaml on the same grammar *)
+      let rec eval s =
+        let s = String.trim s in
+        if s.[0] <> '(' then int_of_string s
+        else
+          (* strip parens, split at top-level operator *)
+          let inner = String.sub s 1 (String.length s - 2) in
+          let depth = ref 0 in
+          let split = ref (-1) in
+          let op = ref ' ' in
+          String.iteri
+            (fun i c ->
+              match c with
+              | '(' -> incr depth
+              | ')' -> decr depth
+              | ('+' | '-' | '*') when !depth = 0 && !split < 0 ->
+                split := i;
+                op := c
+              | _ -> ())
+            inner;
+          let a = eval (String.sub inner 0 !split) in
+          let b =
+            eval (String.sub inner (!split + 1) (String.length inner - !split - 1))
+          in
+          match !op with
+          | '+' -> Vm.Value.wrap32 (a + b)
+          | '-' -> Vm.Value.wrap32 (a - b)
+          | '*' -> Vm.Value.wrap32 (a * b)
+          | _ -> assert false
+      in
+      let expected = eval src_expr in
+      run (Printf.sprintf "def main(): int = { %s }" src_expr) "main"
+      = Vm.Types.Int expected)
+
+let suite =
+  [
+    Alcotest.test_case "lexer-basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer-comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer-two-char" `Quick test_lexer_two_char;
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "mixed-arith" `Quick test_mixed_arith;
+    Alcotest.test_case "locals" `Quick test_locals;
+    Alcotest.test_case "while" `Quick test_while;
+    Alcotest.test_case "for" `Quick test_for;
+    Alcotest.test_case "if" `Quick test_if;
+    Alcotest.test_case "bools" `Quick test_bools;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "args" `Quick test_args;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "inheritance" `Quick test_inheritance;
+    Alcotest.test_case "final-fields" `Quick test_final_fields;
+    Alcotest.test_case "closures" `Quick test_closures;
+    Alcotest.test_case "mutable-capture" `Quick test_mutable_capture;
+    Alcotest.test_case "nested-closures" `Quick test_nested_closures;
+    Alcotest.test_case "closure-factory" `Quick test_closure_returning_closure;
+    Alcotest.test_case "this-capture" `Quick test_this_capture;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "closure-fields" `Quick test_closure_fields;
+    Alcotest.test_case "print-output" `Quick test_print_output;
+    Alcotest.test_case "foreach-pattern" `Quick test_for_each_pattern;
+    Alcotest.test_case "null" `Quick test_null;
+    Alcotest.test_case "lancet-fallbacks" `Quick test_lancet_fallback_freeze;
+    Alcotest.test_case "string-escapes" `Quick test_string_escape_roundtrip;
+    Alcotest.test_case "type-errors" `Quick test_type_errors;
+    Alcotest.test_case "syntax-errors" `Quick test_syntax_errors;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    QCheck_alcotest.to_alcotest prop_arith;
+  ]

@@ -1,0 +1,473 @@
+(* Tests for the bytecode VM substrate: assembler, interpreter, classes,
+   dispatch, arrays, natives, output capture. *)
+
+open Vm
+open Vm.Types
+
+let fresh_rt () = Natives.boot ()
+
+let check_int = Alcotest.(check int)
+let check_value = Alcotest.check Util.value
+
+(* helper: a static method on a scratch class *)
+let counter = ref 0
+
+let static_method rt ~nargs gen =
+  incr counter;
+  let cls =
+    Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] ()
+  in
+  Assembler.define_method rt cls ~name:"m" ~static:true ~nargs gen
+
+let test_arith () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:2 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Load 1);
+        Assembler.emit b (Iop Add);
+        Assembler.emit b (Const (Int 10));
+        Assembler.emit b (Iop Mul);
+        Assembler.emit b Retv)
+  in
+  check_value "(3+4)*10" (Int 70) (Interp.call rt m [| Int 3; Int 4 |])
+
+let test_div_by_zero () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:2 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Load 1);
+        Assembler.emit b (Iop Div);
+        Assembler.emit b Retv)
+  in
+  check_value "7/2" (Int 3) (Interp.call rt m [| Int 7; Int 2 |]);
+  Alcotest.check_raises "div by zero" (Vm_error "division by zero") (fun () ->
+      ignore (Interp.call rt m [| Int 1; Int 0 |]))
+
+let test_wrap32 () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:2 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Load 1);
+        Assembler.emit b (Iop Mul);
+        Assembler.emit b Retv)
+  in
+  (* 2^30 * 4 wraps around in 32-bit arithmetic *)
+  check_value "wraparound" (Int 0)
+    (Interp.call rt m [| Int 1073741824; Int 4 |])
+
+let test_float_ops () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:2 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Load 1);
+        Assembler.emit b (Fop FDiv);
+        Assembler.emit b Retv)
+  in
+  check_value "7.0 /. 2.0" (Float 3.5) (Interp.call rt m [| Float 7.; Float 2. |])
+
+let test_loop_sum () =
+  let rt = fresh_rt () in
+  (* sum of 0..n-1 *)
+  let m =
+    static_method rt ~nargs:1 (fun b ->
+        let i = Assembler.local b and acc = Assembler.local b in
+        Assembler.emit b (Const (Int 0));
+        Assembler.emit b (Store i);
+        Assembler.emit b (Const (Int 0));
+        Assembler.emit b (Store acc);
+        let head = Assembler.new_label b in
+        let exit = Assembler.new_label b in
+        Assembler.place b head;
+        Assembler.emit b (Load i);
+        Assembler.emit b (Load 0);
+        Assembler.if_ b Ge exit;
+        Assembler.emit b (Load acc);
+        Assembler.emit b (Load i);
+        Assembler.emit b (Iop Add);
+        Assembler.emit b (Store acc);
+        Assembler.emit b (Load i);
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b (Iop Add);
+        Assembler.emit b (Store i);
+        Assembler.goto b head;
+        Assembler.place b exit;
+        Assembler.emit b (Load acc);
+        Assembler.emit b Retv)
+  in
+  check_value "sum 100" (Int 4950) (Interp.call rt m [| Int 100 |])
+
+let test_fields_and_dispatch () =
+  let rt = fresh_rt () in
+  let animal =
+    Classfile.declare_class rt ~name:"Animal" ~fields:[ ("name", false) ] ()
+  in
+  ignore
+    (Assembler.define_method rt animal ~name:"sound" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Str "generic"));
+         Assembler.emit b Retv));
+  let dog =
+    Classfile.declare_class rt ~name:"Dog" ~super:"Animal" ~fields:[] ()
+  in
+  ignore
+    (Assembler.define_method rt dog ~name:"sound" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Str "woof"));
+         Assembler.emit b Retv));
+  (* new Dog; d.name = "rex"; return d.sound() ^ ":" ^ d.name *)
+  let fname = Classfile.field dog "name" in
+  let concat = Classfile.static_method rt ~cls:"Str" ~name:"concat" in
+  let m =
+    static_method rt ~nargs:0 (fun b ->
+        let d = Assembler.local b in
+        Assembler.emit b (New dog);
+        Assembler.emit b (Store d);
+        Assembler.emit b (Load d);
+        Assembler.emit b (Const (Str "rex"));
+        Assembler.emit b (Putfield fname);
+        Assembler.emit b (Load d);
+        Assembler.emit b (Invoke (Virtual ("sound", 0, None)));
+        Assembler.emit b (Load d);
+        Assembler.emit b (Getfield fname);
+        Assembler.emit b (Invoke (Static concat));
+        Assembler.emit b Retv)
+  in
+  check_value "virtual dispatch" (Str "woofrex") (Interp.call rt m [||]);
+  (* the same call through the superclass vtable *)
+  let m2 =
+    static_method rt ~nargs:0 (fun b ->
+        Assembler.emit b (New animal);
+        Assembler.emit b (Invoke (Virtual ("sound", 0, None)));
+        Assembler.emit b Retv)
+  in
+  check_value "base dispatch" (Str "generic") (Interp.call rt m2 [||])
+
+let test_inherited_fields () =
+  let rt = fresh_rt () in
+  let a = Classfile.declare_class rt ~name:"A" ~fields:[ ("x", false) ] () in
+  let b = Classfile.declare_class rt ~name:"B" ~super:"A" ~fields:[ ("y", false) ] () in
+  let fx = Classfile.field b "x" and fy = Classfile.field b "y" in
+  Alcotest.(check bool) "x slot before y slot" true (fx.fidx < fy.fidx);
+  check_int "B has two fields" 2 (Array.length b.cfields);
+  check_int "A has one field" 1 (Array.length a.cfields)
+
+let test_arrays () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:1 (fun b ->
+        let a = Assembler.local b in
+        Assembler.emit b (Load 0);
+        Assembler.emit b Newarr;
+        Assembler.emit b (Store a);
+        (* a[2] = 42; return a[2] + len(a) *)
+        Assembler.emit b (Load a);
+        Assembler.emit b (Const (Int 2));
+        Assembler.emit b (Const (Int 42));
+        Assembler.emit b Astore;
+        Assembler.emit b (Load a);
+        Assembler.emit b (Const (Int 2));
+        Assembler.emit b Aload;
+        Assembler.emit b (Load a);
+        Assembler.emit b Alen;
+        Assembler.emit b (Iop Add);
+        Assembler.emit b Retv)
+  in
+  check_value "array ops" (Int 47) (Interp.call rt m [| Int 5 |])
+
+let test_float_arrays () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:0 (fun b ->
+        let a = Assembler.local b in
+        Assembler.emit b (Const (Int 3));
+        Assembler.emit b Newfarr;
+        Assembler.emit b (Store a);
+        Assembler.emit b (Load a);
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b (Const (Float 2.5));
+        Assembler.emit b Fastore;
+        Assembler.emit b (Load a);
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b Faload;
+        Assembler.emit b Retv)
+  in
+  check_value "farray ops" (Float 2.5) (Interp.call rt m [||])
+
+let test_globals () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:1 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Putglobal 3);
+        Assembler.emit b (Getglobal 3);
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b (Iop Add);
+        Assembler.emit b Retv)
+  in
+  check_value "global roundtrip" (Int 11) (Interp.call rt m [| Int 10 |]);
+  check_value "global persists" (Int 10) (Runtime.get_global rt 3)
+
+let test_natives_str () =
+  let rt = fresh_rt () in
+  let split = Classfile.static_method rt ~cls:"Str" ~name:"split" in
+  let v = Interp.call rt split [| Str "a,bb,ccc"; Str "," |] in
+  check_value "split" (Arr [| Str "a"; Str "bb"; Str "ccc" |]) v;
+  let idx = Classfile.static_method rt ~cls:"Str" ~name:"index_of" in
+  check_value "index_of" (Int 2) (Interp.call rt idx [| Str "abcd"; Str "cd" |]);
+  check_value "index_of missing" (Int (-1))
+    (Interp.call rt idx [| Str "abcd"; Str "xy" |])
+
+let test_output_capture () =
+  let rt = fresh_rt () in
+  let println = Classfile.static_method rt ~cls:"Sys" ~name:"println" in
+  let out, _ =
+    Runtime.capture_output rt (fun () ->
+        ignore (Interp.call rt println [| Str "hello" |]);
+        ignore (Interp.call rt println [| Int 42 |]))
+  in
+  Alcotest.(check string) "captured" "hello\n42\n" out
+
+let test_compiled_fn () =
+  let rt = fresh_rt () in
+  let f =
+    Natives.make_compiled_fn rt (fun args ->
+        Int (Value.to_int args.(0) * 2))
+  in
+  check_value "closure call" (Int 14) (Interp.call_closure rt f [| Int 7 |])
+
+let test_lancet_fallbacks () =
+  let rt = fresh_rt () in
+  (* Lancet.freeze(thunk) in interpreter mode just forces the thunk *)
+  let freeze = Classfile.static_method rt ~cls:"Lancet" ~name:"freeze" in
+  let thunk = Natives.make_compiled_fn rt (fun _ -> Int 99) in
+  check_value "freeze fallback" (Int 99) (Interp.call rt freeze [| thunk |]);
+  let ntimes = Classfile.static_method rt ~cls:"Lancet" ~name:"ntimes" in
+  let count = ref 0 in
+  let body =
+    Natives.make_compiled_fn rt (fun args ->
+        count := !count + Value.to_int args.(0);
+        Null)
+  in
+  ignore (Interp.call rt ntimes [| Int 4; body |]);
+  check_int "ntimes fallback ran 0+1+2+3" 6 !count;
+  let compile = Classfile.static_method rt ~cls:"Lancet" ~name:"compile" in
+  check_value "compile fallback = identity" thunk
+    (Interp.call rt compile [| thunk |])
+
+let test_deep_recursion_frames () =
+  let rt = fresh_rt () in
+  (* recursive sum via static self-call: f(n) = n <= 0 ? 0 : n + f(n-1) *)
+  incr counter;
+  let cls =
+    Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] ()
+  in
+  let m = Classfile.add_method rt cls ~name:"f" ~static:true ~nargs:1 (Bytecode [||]) in
+  let b = Assembler.create rt ~nlocals:1 in
+  let base = Assembler.new_label b in
+  Assembler.emit b (Load 0);
+  Assembler.ifz b Le base;
+  Assembler.emit b (Load 0);
+  Assembler.emit b (Load 0);
+  Assembler.emit b (Const (Int 1));
+  Assembler.emit b (Iop Sub);
+  Assembler.emit b (Invoke (Static m));
+  Assembler.emit b (Iop Add);
+  Assembler.emit b Retv;
+  Assembler.place b base;
+  Assembler.emit b (Const (Int 0));
+  Assembler.emit b Retv;
+  let code, nlocals, maxstack = Assembler.finish b in
+  m.mcode <- Bytecode code;
+  m.mnlocals <- nlocals;
+  m.mmaxstack <- maxstack;
+  check_value "recursive sum" (Int 500500) (Interp.call rt m [| Int 1000 |])
+
+let test_disasm () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:1 (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b (Iop Add);
+        Assembler.emit b Retv)
+  in
+  let s = Disasm.method_to_string m in
+  Alcotest.(check bool) "has iadd" true (Util.contains_sub s "iadd");
+  Alcotest.(check bool) "has vreturn" true (Util.contains_sub s "vreturn")
+
+let test_interp_steps () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:0 (fun b ->
+        Assembler.emit b (Const (Int 1));
+        Assembler.emit b Retv)
+  in
+  let before = rt.interp_steps in
+  ignore (Interp.call rt m [||]);
+  check_int "two instructions" 2 (rt.interp_steps - before)
+
+(* property: the assembler's max-stack bound is safe for random arithmetic *)
+let prop_maxstack =
+  QCheck.Test.make ~name:"assembler maxstack is safe" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (QCheck.int_range 0 4))
+    (fun shape ->
+      let rt = fresh_rt () in
+      let m =
+        static_method rt ~nargs:0 (fun b ->
+            Assembler.emit b (Const (Int 1));
+            List.iter
+              (fun k ->
+                if k < 3 then begin
+                  (* push then combine: grows stack *)
+                  Assembler.emit b (Const (Int (k + 1)));
+                  Assembler.emit b (Iop Add)
+                end
+                else Assembler.emit b Dup)
+              shape;
+            (* collapse whatever is left *)
+            let dups = List.length (List.filter (fun k -> k >= 3) shape) in
+            for _ = 1 to dups do
+              Assembler.emit b (Iop Add)
+            done;
+            Assembler.emit b Retv)
+      in
+      match Interp.call rt m [||] with Int _ -> true | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "div-by-zero" `Quick test_div_by_zero;
+    Alcotest.test_case "wrap32" `Quick test_wrap32;
+    Alcotest.test_case "float-ops" `Quick test_float_ops;
+    Alcotest.test_case "loop-sum" `Quick test_loop_sum;
+    Alcotest.test_case "fields-dispatch" `Quick test_fields_and_dispatch;
+    Alcotest.test_case "inherited-fields" `Quick test_inherited_fields;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "float-arrays" `Quick test_float_arrays;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "natives-str" `Quick test_natives_str;
+    Alcotest.test_case "output-capture" `Quick test_output_capture;
+    Alcotest.test_case "compiled-fn" `Quick test_compiled_fn;
+    Alcotest.test_case "lancet-fallbacks" `Quick test_lancet_fallbacks;
+    Alcotest.test_case "deep-recursion" `Quick test_deep_recursion_frames;
+    Alcotest.test_case "disasm" `Quick test_disasm;
+    Alcotest.test_case "interp-steps" `Quick test_interp_steps;
+    QCheck_alcotest.to_alcotest prop_maxstack;
+  ]
+
+(* ---- verifier ---- *)
+
+let test_verifier_accepts_good_code () =
+  let rt = fresh_rt () in
+  let m =
+    static_method rt ~nargs:1 (fun b ->
+        let l = Assembler.new_label b in
+        Assembler.emit b (Load 0);
+        Assembler.ifz b Le l;
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Const (Int 2));
+        Assembler.emit b (Iop Mul);
+        Assembler.emit b Retv;
+        Assembler.place b l;
+        Assembler.emit b (Const (Int 0));
+        Assembler.emit b Retv)
+  in
+  Verifier.verify m;
+  Alcotest.(check bool) "verify_all covers user methods" true
+    (Verifier.verify_all rt >= 1)
+
+let expect_verify_error m =
+  match Verifier.verify m with
+  | exception Verifier.Verify_error _ -> ()
+  | () -> Alcotest.fail "expected a verifier error"
+
+let test_verifier_rejects_underflow () =
+  let rt = fresh_rt () in
+  incr counter;
+  let cls = Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] () in
+  let m = Classfile.add_method rt cls ~name:"bad" ~static:true ~nargs:0 (Bytecode [| Iop Add; Retv |]) in
+  m.mmaxstack <- 4;
+  expect_verify_error m
+
+let test_verifier_rejects_bad_local () =
+  let rt = fresh_rt () in
+  incr counter;
+  let cls = Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] () in
+  let m = Classfile.add_method rt cls ~name:"bad" ~static:true ~nargs:0 (Bytecode [| Load 5; Retv |]) in
+  m.mmaxstack <- 4;
+  expect_verify_error m
+
+let test_verifier_rejects_bad_target () =
+  let rt = fresh_rt () in
+  incr counter;
+  let cls = Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] () in
+  let m = Classfile.add_method rt cls ~name:"bad" ~static:true ~nargs:0 (Bytecode [| Goto 99 |]) in
+  m.mmaxstack <- 4;
+  expect_verify_error m
+
+let test_verifier_rejects_inconsistent_join () =
+  let rt = fresh_rt () in
+  incr counter;
+  let cls = Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] () in
+  (* path A pushes 2 values before the join, path B pushes 1 *)
+  let code =
+    [|
+      Const (Int 1); (* 0: depth 1 *)
+      Ifz (Eq, 4); (* 1: pops -> 0; branch *)
+      Const (Int 1); (* 2 *)
+      Const (Int 2); (* 3: depth 2; falls into 4 *)
+      Const (Int 3); (* 4: join reached with depth 0 and 2 *)
+      Retv;
+    |]
+  in
+  let m = Classfile.add_method rt cls ~name:"bad" ~static:true ~nargs:0 (Bytecode code) in
+  m.mmaxstack <- 8;
+  expect_verify_error m
+
+let test_verifier_rejects_fall_off_end () =
+  let rt = fresh_rt () in
+  incr counter;
+  let cls = Classfile.declare_class rt ~name:(Printf.sprintf "T%d" !counter) ~fields:[] () in
+  let m = Classfile.add_method rt cls ~name:"bad" ~static:true ~nargs:0 (Bytecode [| Const (Int 1) |]) in
+  m.mmaxstack <- 4;
+  expect_verify_error m
+
+(* property: everything the Mini code generator emits verifies *)
+let prop_codegen_verifies =
+  QCheck.Test.make ~name:"Mini codegen output verifies" ~count:40
+    QCheck.(pair (int_range 0 5) (int_range 0 5))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "class P { var x: int\n\
+           \  def init(x: int): unit = { this.x = x }\n\
+           \  def get(): int = this.x }\n\
+           def f(n: int): int = {\n\
+           \  var acc = %d;\n\
+           \  for (i <- 0 until n) {\n\
+           \    val p = new P(i + %d);\n\
+           \    val g = fun (y: int) => y + p.get();\n\
+           \    if (acc < 100) { acc = acc + g(i) } else { acc = acc - 1 }\n\
+           \  };\n\
+           \  acc\n\
+           }"
+          a b
+      in
+      let rt = Natives.boot () in
+      ignore (Mini.Front.load rt src);
+      ignore (Verifier.verify_all rt);
+      true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "verifier-good" `Quick test_verifier_accepts_good_code;
+      Alcotest.test_case "verifier-underflow" `Quick test_verifier_rejects_underflow;
+      Alcotest.test_case "verifier-bad-local" `Quick test_verifier_rejects_bad_local;
+      Alcotest.test_case "verifier-bad-target" `Quick test_verifier_rejects_bad_target;
+      Alcotest.test_case "verifier-join" `Quick test_verifier_rejects_inconsistent_join;
+      Alcotest.test_case "verifier-fall-off" `Quick test_verifier_rejects_fall_off_end;
+      QCheck_alcotest.to_alcotest prop_codegen_verifies;
+    ]

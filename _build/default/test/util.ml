@@ -1,0 +1,12 @@
+(* Shared helpers for the test suites. *)
+
+let contains_sub s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i =
+    if i + lsub > ls then false
+    else if String.sub s i lsub = sub then true
+    else go (i + 1)
+  in
+  go 0
+
+let value = Alcotest.testable Vm.Value.pp Vm.Value.equal
