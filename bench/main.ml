@@ -5,7 +5,12 @@
    see EXPERIMENTS.md for the paper-vs-measured discussion.
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
-                          table2-namescore|ablate|micro|all]       *)
+                          table2-namescore|ablate|micro|tiered|check|all]
+
+   [tiered] compares the pure interpreter against the tiered execution
+   engine (hotness-driven method JIT) and writes BENCH_tiered.json;
+   [check] is the fast correctness-only gate wired into the runtest
+   alias. *)
 
 open Vm.Types
 module Exec = Delite.Exec
@@ -378,6 +383,193 @@ let micro () =
     merged
 
 (* ------------------------------------------------------------------ *)
+(* Tiered execution: pure interpreter vs hotness-driven method JIT     *)
+
+let tiered_calc_src =
+  {|
+def calc(n: int, seed: int): int = {
+  var acc = seed;
+  var i = 0;
+  while (i < n) {
+    acc = (acc * 31 + i) % 1000003;
+    i = i + 1
+  };
+  acc
+}
+|}
+
+let tiered_kmeans_src =
+  {|
+def sqdist(ps: farray, cs: farray, r: int, c: int, d: int): float = {
+  var s = 0.0;
+  for (j <- 0 until d) {
+    val diff = ps[r * d + j] - cs[c * d + j];
+    s = s + diff * diff
+  };
+  s
+}
+def nearest(ps: farray, cs: farray, r: int, d: int, k: int): int = {
+  var best = 0;
+  var bd = sqdist(ps, cs, r, 0, d);
+  for (c <- 1 until k) {
+    val dd = sqdist(ps, cs, r, c, d);
+    if (dd < bd) { bd = dd; best = c }
+  };
+  best
+}
+def assign_all(ps: farray, cs: farray, n: int, d: int, k: int): int = {
+  var s = 0;
+  for (r <- 0 until n) { s = s + nearest(ps, cs, r, d, k) };
+  s
+}
+|}
+
+let tiered_spec_src =
+  {|
+def spec(x: int): int =
+  if (Lancet.speculate(x < 100000)) x * 3 + 1 else x - 7
+|}
+
+type tier_row = {
+  tr_name : string;
+  tr_interp_ms : float;
+  tr_tiered_ms : float;
+  tr_compiles : int;
+  tr_hits : int;
+  tr_deopts : int;
+}
+
+(* Run one workload twice — pure interpreter and tiered runtime — check the
+   results agree and report the timings plus the tiered counters.  The
+   tiered timing includes JIT compilation (that is the deal a tiered VM
+   offers). *)
+let tier_workload name src (driver : Vm.Types.runtime -> Mini.Front.program -> value) =
+  let run tiered =
+    let rt =
+      if tiered then Lancet.Api.boot ~tiering:true ~tier_threshold:16 ()
+      else Vm.Natives.boot ()
+    in
+    let p = Mini.Front.load rt src in
+    let t0 = Unix.gettimeofday () in
+    let v = driver rt p in
+    (rt, v, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let _, vi, ti = run false in
+  let rtt, vt, tt = run true in
+  if not (Vm.Value.equal vi vt) then
+    failwith (Printf.sprintf "tiered %s: result mismatch" name);
+  {
+    tr_name = name;
+    tr_interp_ms = ti;
+    tr_tiered_ms = tt;
+    tr_compiles = rtt.tiering.t_compiles;
+    tr_hits = rtt.tiering.t_cache_hits;
+    tr_deopts = rtt.tiering.t_deopts;
+  }
+
+let tier_rows ~small =
+  let calc_calls = if small then 200 else 2000 in
+  let calc_n = if small then 100 else 400 in
+  let km_rows = if small then 40 else 200 in
+  let km_calls = if small then 20 else 150 in
+  let csv_bytes = if small then 40_000 else 250_000 in
+  let spec_calls = if small then 300 else 20_000 in
+  let calc =
+    tier_workload "calc" tiered_calc_src (fun _ p ->
+        let acc = ref 0 in
+        for k = 1 to calc_calls do
+          acc :=
+            (!acc + Vm.Value.to_int (Mini.Front.call p "calc" [| Int calc_n; Int k |]))
+            land 0xFFFFFF
+        done;
+        Int !acc)
+  in
+  let d = 4 and k = 3 in
+  let ps =
+    Array.init (km_rows * d) (fun i -> float_of_int ((i * 37 mod 101) - 50) /. 7.)
+  in
+  let cs = Array.init (k * d) (fun i -> float_of_int ((i * 53 mod 23) - 11) /. 3.) in
+  let kmeans =
+    tier_workload "kmeans-assign" tiered_kmeans_src (fun _ p ->
+        let acc = ref 0 in
+        for _ = 1 to km_calls do
+          acc :=
+            !acc
+            + Vm.Value.to_int
+                (Mini.Front.call p "assign_all"
+                   [| Farr ps; Farr cs; Int km_rows; Int d; Int k |])
+        done;
+        Int !acc)
+  in
+  let text = Csvlib.Gen.generate ~seed:7 ~bytes:csv_bytes in
+  let csv =
+    tier_workload "csv-generic" Csvlib.Mini_src.generic (fun _ p ->
+        Mini.Front.call p "run_generic" [| Str text |])
+  in
+  let spec =
+    tier_workload "speculate-deopt" tiered_spec_src (fun _ p ->
+        let acc = ref 0 in
+        for i = 1 to spec_calls do
+          (* every 50th call breaks the speculation: deopt, then back to
+             the compiled fast path *)
+          let x = if i mod 50 = 0 then 1_000_000 + i else i in
+          acc :=
+            (!acc + Vm.Value.to_int (Mini.Front.call p "spec" [| Int x |]))
+            land 0xFFFFFF
+        done;
+        Int !acc)
+  in
+  [ calc; kmeans; csv; spec ]
+
+let tier_json rows =
+  let row r =
+    Printf.sprintf
+      "    {\"workload\": %S, \"interp_ms\": %.3f, \"tiered_ms\": %.3f, \
+       \"speedup\": %.3f, \"compiles\": %d, \"cache_hits\": %d, \"deopts\": \
+       %d}"
+      r.tr_name r.tr_interp_ms r.tr_tiered_ms
+      (r.tr_interp_ms /. r.tr_tiered_ms)
+      r.tr_compiles r.tr_hits r.tr_deopts
+  in
+  Printf.sprintf "{\n  \"workloads\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row rows))
+
+let tiered () =
+  header "Tiered execution: interpreter vs hotness-driven method JIT";
+  let rows = tier_rows ~small:false in
+  pr "\n%-18s %12s %12s %9s %9s %10s %7s\n" "workload" "interp(ms)"
+    "tiered(ms)" "speedup" "compiles" "cache_hits" "deopts";
+  List.iter
+    (fun r ->
+      pr "%-18s %12.1f %12.1f %8.2fx %9d %10d %7d\n" r.tr_name r.tr_interp_ms
+        r.tr_tiered_ms
+        (r.tr_interp_ms /. r.tr_tiered_ms)
+        r.tr_compiles r.tr_hits r.tr_deopts)
+    rows;
+  let oc = open_out "BENCH_tiered.json" in
+  output_string oc (tier_json rows);
+  close_out oc;
+  pr "\nwrote BENCH_tiered.json\n"
+
+(* Fast correctness gate (runs under the dune [runtest] alias): same
+   workloads at small sizes, results must match the interpreter and the
+   tiered counters must move; no timing assertions, so it cannot flake. *)
+let tier_check () =
+  let rows = tier_rows ~small:true in
+  List.iter
+    (fun r ->
+      pr "check %-18s ok  (compiles=%d cache_hits=%d deopts=%d)\n" r.tr_name
+        r.tr_compiles r.tr_hits r.tr_deopts;
+      if r.tr_name <> "csv-generic" && r.tr_compiles = 0 then
+        failwith (r.tr_name ^ ": expected at least one compile");
+      if r.tr_hits = 0 then failwith (r.tr_name ^ ": expected cache hits"))
+    rows;
+  (match List.find_opt (fun r -> r.tr_name = "speculate-deopt") rows with
+  | Some r when r.tr_deopts > 0 -> ()
+  | _ -> failwith "speculate workload: expected deopts");
+  pr "tiered execution check ok\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -391,13 +583,16 @@ let () =
     table2 H.Namescore "Table 2c: name score" ~with_manual:false ()
   | "ablate" -> ablate ()
   | "micro" -> micro ()
+  | "tiered" -> tiered ()
+  | "check" -> tier_check ()
   | "all" ->
     table1 ();
     table2 H.Kmeans "Table 2a: k-means clustering" ~with_manual:false ();
     table2 H.Logreg "Table 2b: logistic regression" ~with_manual:true ();
     table2 H.Namescore "Table 2c: name score" ~with_manual:false ();
     ablate ();
-    micro ()
+    micro ();
+    tiered ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);
     exit 1

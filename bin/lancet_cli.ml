@@ -25,10 +25,12 @@ let load path =
 
 (* ---- run ---- *)
 
-let run_cmd file fn args =
-  let _, p = load file in
+let run_cmd tiered threshold file fn args =
+  let rt = Lancet.Api.boot ~tiering:tiered ~tier_threshold:threshold () in
+  let p = Mini.Front.load rt (read_file file) in
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
   Format.printf "%a@." Vm.Value.pp v;
+  if tiered then Format.eprintf "[tier] %s@." (Vm.Runtime.tier_stats_string rt);
   0
 
 (* ---- disasm ---- *)
@@ -38,7 +40,7 @@ let disasm_cmd file names =
   Hashtbl.iter
     (fun cname (cls : Vm.Types.cls) ->
       let wanted =
-        names = [] || List.exists (fun n -> Util_contains.contains cname n) names
+        names = [] || List.exists (fun n -> Vm.Strutil.contains cname n) names
       in
       if wanted && cls.Vm.Types.cmethods <> [] then
         Format.printf "%s@.@." (Vm.Disasm.class_to_string cls))
@@ -86,10 +88,22 @@ let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 let fn_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNCTION")
 let rest = Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS")
 
+let tiered_flag =
+  Arg.(
+    value & flag
+    & info [ "tiered" ]
+        ~doc:"Enable the tiered execution engine: hot methods are JIT-compiled")
+
+let tier_threshold =
+  Arg.(
+    value & opt int 16
+    & info [ "tier-threshold" ] ~docv:"N"
+        ~doc:"Hotness threshold (calls + back-edges) for promotion")
+
 let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
-    Term.(const run_cmd $ file $ fn_pos $ rest)
+    Term.(const run_cmd $ tiered_flag $ tier_threshold $ file $ fn_pos $ rest)
 
 let disasm_names =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")

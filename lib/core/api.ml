@@ -234,6 +234,7 @@ let check_no_leak_macro ctx args =
 
 let install rt =
   rt.compile_hook <- Some (fun rt v -> C.compile_value rt v);
+  Tiering.install rt;
   let reg name fn = C.register_macro rt ~cls:"Lancet" ~name fn in
   reg "freeze" freeze_macro;
   reg "unroll" unroll_macro;
@@ -256,8 +257,10 @@ let install rt =
   reg "untaint" untaint_macro;
   reg "check_no_leak" check_no_leak_macro
 
-(* boot a runtime with builtins + the Lancet JIT installed *)
-let boot () =
-  let rt = Vm.Natives.boot () in
+(* Boot a runtime with builtins + the Lancet JIT installed.  [tiering]
+   enables hotness-driven promotion of interpreted methods (tier 0 -> 1);
+   see {!Vm.Runtime.create} for the knobs. *)
+let boot ?tiering ?tier_threshold ?tier_cache_size () =
+  let rt = Vm.Natives.boot ?tiering ?tier_threshold ?tier_cache_size () in
   install rt;
   rt

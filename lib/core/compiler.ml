@@ -864,7 +864,7 @@ let rec exec_range ctx ~(stop : int -> bool) : [ `Arrived | `Dead ] =
         (* first arrival at the active header: execute it normally *)
         info.be_entered <- true;
         f.sf_pc <- pc + 1;
-        (match exec_instr ctx ~stop ~cfg:(Bcfg.of_method f.sf_meth) ~pc code.(pc) with
+        (match exec_instr ctx ~stop ~cfg ~pc code.(pc) with
         | `Ok -> ()
         | `Dead ->
           result := `Dead;
@@ -949,11 +949,13 @@ and run_loop ctx ~stop ~cfg h : [ `Arrived | `Dead ] =
   let returns_mark = List.length !(f.sf_returns) in
   let alloc_marks = List.map (fun r -> List.length !r) ctx.alloc_watch in
   let leak_marks = List.map (fun r -> List.length !r) ctx.leak_watch in
+  (* drop newest (head) elements until [n] remain: single-pass by count *)
   let truncate_list l n =
-    let rec drop l =
-      if List.length l > n then drop (List.tl l) else l
+    let rec drop l k = if k <= 0 then l else match l with
+      | [] -> []
+      | _ :: t -> drop t (k - 1)
     in
-    drop l
+    drop l (List.length l - n)
   in
   let rollback () =
     f.sf_returns := truncate_list !(f.sf_returns) returns_mark;
@@ -1273,14 +1275,7 @@ and do_branch ctx ~stop ~cfg ~pc cond ~taken :
 (* ------------------------------------------------------------------ *)
 (* Calls: macros, folding, inlining, residualization (Sec. 2.3, 3.1)   *)
 
-and contains_sub s sub =
-  let ls = String.length s and lsub = String.length sub in
-  let rec go i =
-    if i + lsub > ls then false
-    else if String.sub s i lsub = sub then true
-    else go (i + 1)
-  in
-  go 0
+and contains_sub s sub = Vm.Strutil.contains s sub
 
 and leak_sinks = [ "Sys.print"; "Sys.println"; "Sys.write_file" ]
 
@@ -1593,14 +1588,8 @@ let reconstruct_frames (se : Ir.side_exit) (vals : value array) :
       let ostack = Array.make (max (m.mmaxstack + 4) ns) Null in
       Array.blit vals (off + nl) ostack 0 ns;
       Some
-        {
-          Vm.Interp.fmeth = m;
-          pc = fd.fd_pc;
-          locals;
-          ostack;
-          sp = ns;
-          parent;
-        }
+        (Vm.Interp.rebuild_frame ~meth:m ~pc:fd.fd_pc ~locals ~ostack ~sp:ns
+           ~parent)
     | _ -> assert false
   in
   match build se.se_frames offsets with

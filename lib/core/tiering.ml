@@ -1,0 +1,70 @@
+(* Tier 1 of the tiered execution engine: the [jit_hook] installed into the
+   VM runtime.  When the interpreter promotes a hot bytecode method, this
+   module stages it through the Lancet pipeline (all arguments dynamic),
+   compiles the optimized graph with the closure backend and returns the
+   entry point that [Runtime.tier_install] places in the code cache.
+
+   Deoptimization: side exits in the compiled code reconstruct interpreter
+   frames and resume interpretation (OSR-out), counting into
+   [rt.tiering.t_deopts].  [`Recompile] exits (the [stable]/[fastpath]
+   macros) additionally bump the method's cache generation and rebuild the
+   graph with the current values frozen before resuming — the same
+   cell-swapping scheme as [Compiler.compile_value], so the cached entry
+   point stays valid across recompiles. *)
+
+open Vm.Types
+module C = Compiler
+
+(* Hot methods are compiled fully dynamically: every parameter (receiver
+   included) becomes a graph parameter, so one compilation serves every call
+   site.  Specialization still happens inside: constants, virtual objects
+   and JIT macros in the method body all fold as usual. *)
+let compile_method_dyn rt (m : meth) : (value array -> value) option =
+  let nslots = m.mnargs + if m.mstatic then 0 else 1 in
+  let spec = Array.make (max nslots 0) C.Dyn in
+  let opts =
+    { C.default_options with C.name = "tier:" ^ m.mowner.cname ^ "." ^ m.mname }
+  in
+  let cell = ref (fun _ -> Null) in
+  let rec build () =
+    let g = C.stage ~opts rt m spec in
+    let base = Lms.Closure_backend.default_hooks rt in
+    let hooks =
+      {
+        base with
+        Lms.Closure_backend.on_exit =
+          (fun se vals ->
+            let t = rt.tiering in
+            t.t_deopts <- t.t_deopts + 1;
+            (match se.Lms.Ir.se_kind with
+            | `Recompile -> (
+              Vm.Runtime.tier_invalidate rt m;
+              match build () with
+              | () ->
+                t.t_compiles <- t.t_compiles + 1;
+                Vm.Runtime.tier_install rt m (fun args -> !cell args)
+              | exception _ -> m.mtier <- Tier_blacklisted)
+            | `Interpret -> ());
+            Vm.Interp.resume rt (C.reconstruct_frames se vals));
+      }
+    in
+    (* prefer the unboxed kernel backend (hot loops are why we are here);
+       it raises [Fallback] on graphs it cannot handle *)
+    cell :=
+      (match Lms.Typed_backend.compile ~hooks g with
+      | fn -> fn
+      | exception Lms.Typed_backend.Fallback _ ->
+        Lms.Closure_backend.compile ~hooks g)
+  in
+  match build () with
+  | () -> Some (fun args -> !cell args)
+  | exception _ -> None (* compile failure: the caller blacklists *)
+
+let jit_hook rt (m : meth) : (value array -> value) option =
+  match m.mcode with
+  | Native _ -> None
+  | Bytecode _ -> compile_method_dyn rt m
+
+(* Install the tier-1 compiler; promotion still requires the runtime to have
+   tiering enabled ([Runtime.create ~tiering:true] or [rt.tiering.t_enabled]). *)
+let install rt = rt.jit_hook <- Some jit_hook

@@ -66,6 +66,9 @@ let add_method rt cls ~name ?(static = false) ~nargs code =
       mnlocals = nlocals;
       mmaxstack = 8;
       mcode = code;
+      mcalls = 0;
+      mbackedges = 0;
+      mtier = Tier_cold;
     }
   in
   rt.next_mid <- rt.next_mid + 1;

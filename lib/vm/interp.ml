@@ -2,12 +2,20 @@
    paper's Fig. 6: linked [frame] records (control, environment and
    continuation of a CESK machine), an operand stack mapped onto each frame,
    and a [loop] that executes instructions of the current frame and performs
-   control transfers by swapping the current frame. *)
+   control transfers by swapping the current frame.
+
+   Tier 0 of the tiered execution engine: every bytecode invoke bumps the
+   callee's invocation counter and every backward jump bumps the enclosing
+   method's back-edge counter; when their sum crosses the runtime's hotness
+   threshold, [Runtime.tiered_fn] hands the method to the Lancet pipeline
+   (via [rt.jit_hook]) and subsequent calls dispatch to the compiled entry
+   point in the runtime code cache. *)
 
 open Types
 
 type frame = {
   fmeth : meth;
+  fcode : instr array; (* the Bytecode payload, hoisted out of [step] *)
   mutable pc : int;
   locals : value array;
   ostack : value array;
@@ -15,17 +23,28 @@ type frame = {
   mutable parent : frame option;
 }
 
+let code_of meth =
+  match meth.mcode with
+  | Bytecode c -> c
+  | Native _ -> vm_error "no bytecode for native method %s" meth.mname
+
 let make_frame ?parent meth args =
   let locals = Array.make (max meth.mnlocals (Array.length args)) Null in
   Array.blit args 0 locals 0 (Array.length args);
   {
     fmeth = meth;
+    fcode = code_of meth;
     pc = 0;
     locals;
     ostack = Array.make (max meth.mmaxstack 4) Null;
     sp = 0;
     parent;
   }
+
+(* Rebuild an interpreter frame from deoptimization metadata (used by the
+   side-exit / continuation machinery in Lancet). *)
+let rebuild_frame ~meth ~pc ~locals ~ostack ~sp ~parent =
+  { fmeth = meth; fcode = code_of meth; pc; locals; ostack; sp; parent }
 
 let push f v =
   f.ostack.(f.sp) <- v;
@@ -38,12 +57,36 @@ let pop f =
 let pop_int f = Value.to_int (pop f)
 let pop_float f = Value.to_float (pop f)
 
+let no_args : value array = [||]
+
 let pop_args f n =
-  let a = Array.make n Null in
-  for i = n - 1 downto 0 do
-    a.(i) <- pop f
+  if n = 0 then no_args
+  else begin
+    let a = Array.make n Null in
+    for i = n - 1 downto 0 do
+      a.(i) <- pop f
+    done;
+    a
+  end
+
+(* Frame for a bytecode call whose arguments sit on [caller]'s operand
+   stack: pop them straight into the callee's local slots, avoiding the
+   intermediate argument array of [pop_args]. *)
+let frame_of_call meth caller nargs =
+  let locals = Array.make (max meth.mnlocals nargs) Null in
+  for i = nargs - 1 downto 0 do
+    caller.sp <- caller.sp - 1;
+    locals.(i) <- caller.ostack.(caller.sp)
   done;
-  a
+  {
+    fmeth = meth;
+    fcode = code_of meth;
+    pc = 0;
+    locals;
+    ostack = Array.make (max meth.mmaxstack 4) Null;
+    sp = 0;
+    parent = Some caller;
+  }
 
 exception Return_from_root of value
 
@@ -66,22 +109,23 @@ let resume rt frame =
         push p v;
         current := Some p)
   in
-  let rec call_method meth args =
+  (* Invoke [meth] whose [nargs] arguments (receiver included) lie on top of
+     [f]'s operand stack.  Bytecode callees first consult the tiered code
+     cache; natives and compiled entry points complete within [f]. *)
+  let invoke f meth nargs =
     match meth.mcode with
-    | Native (_, fn) ->
-      let v = fn rt args in
-      (match !current with
-      | Some f -> push f v
-      | None -> assert false)
-    | Bytecode _ ->
-      let f = make_frame ?parent:!current meth args in
-      current := Some f
-  and step f =
-    let code = match f.fmeth.mcode with
-      | Bytecode c -> c
-      | Native _ -> assert false
-    in
-    let i = code.(f.pc) in
+    | Native (_, fn) -> push f (fn rt (pop_args f nargs))
+    | Bytecode _ -> (
+      meth.mcalls <- meth.mcalls + 1;
+      match Runtime.tiered_fn rt meth with
+      | Some cfn -> push f (cfn (pop_args f nargs))
+      | None -> current := Some (frame_of_call meth f nargs))
+  and jump f t =
+    if t < f.pc then f.fmeth.mbackedges <- f.fmeth.mbackedges + 1;
+    f.pc <- t
+  in
+  let step f =
+    let i = f.fcode.(f.pc) in
     f.pc <- f.pc + 1;
     rt.interp_steps <- rt.interp_steps + 1;
     match i with
@@ -111,19 +155,19 @@ let resume rt frame =
     | If (c, t) ->
       let y = pop_int f in
       let x = pop_int f in
-      if Value.cond_apply c x y then f.pc <- t
+      if Value.cond_apply c x y then jump f t
     | Iff (c, t) ->
       let y = pop_float f in
       let x = pop_float f in
-      if Value.fcond_apply c x y then f.pc <- t
+      if Value.fcond_apply c x y then jump f t
     | Ifz (c, t) ->
       let x = pop_int f in
-      if Value.cond_apply c x 0 then f.pc <- t
+      if Value.cond_apply c x 0 then jump f t
     | Ifnull (when_null, t) ->
       let v = pop f in
       let is_null = match v with Null -> true | _ -> false in
-      if is_null = when_null then f.pc <- t
-    | Goto t -> f.pc <- t
+      if is_null = when_null then jump f t
+    | Goto t -> jump f t
     | New cls -> push f (Obj (Runtime.alloc rt cls))
     | Getfield fd ->
       let o = Value.to_obj (pop f) in
@@ -163,17 +207,16 @@ let resume rt frame =
       | Arr a -> push f (Int (Array.length a))
       | Farr a -> push f (Int (Array.length a))
       | _ -> vm_error "alen: not an array")
-    | Invoke (Static m) -> call_method m (pop_args f m.mnargs)
-    | Invoke (Special m) -> call_method m (pop_args f (m.mnargs + 1))
+    | Invoke (Static m) -> invoke f m m.mnargs
+    | Invoke (Special m) -> invoke f m (m.mnargs + 1)
     | Invoke (Virtual (name, argc, _)) ->
-      let args = pop_args f (argc + 1) in
-      let recv =
-        match args.(0) with
-        | Obj o -> o
+      let m =
+        match f.ostack.(f.sp - argc - 1) with
+        | Obj o -> Classfile.resolve_virtual o.ocls name
         | Null -> vm_error "null receiver for %s" name
         | _ -> vm_error "invokevirtual %s on non-object" name
       in
-      call_method (Classfile.resolve_virtual recv.ocls name) args
+      invoke f m (argc + 1)
     | Ret -> return_value Null
     | Retv -> return_value (pop f)
     | Trap msg -> vm_error "trap: %s" msg
@@ -186,7 +229,11 @@ let resume rt frame =
 let call rt meth (args : value array) =
   match meth.mcode with
   | Native (_, fn) -> fn rt args
-  | Bytecode _ -> resume rt (make_frame meth args)
+  | Bytecode _ -> (
+    meth.mcalls <- meth.mcalls + 1;
+    match Runtime.tiered_fn rt meth with
+    | Some cfn -> cfn args
+    | None -> resume rt (make_frame meth args))
 
 (* Invoke a closure-like object: dispatches its [apply] method. *)
 let call_closure rt v (args : value array) =

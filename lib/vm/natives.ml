@@ -38,6 +38,9 @@ let install_sys rt =
       Null);
   n "time_ms" 0 (fun _ _ -> Float (Unix.gettimeofday () *. 1000.0));
   n "steps" 0 (fun rt _ -> Int rt.interp_steps);
+  n "tier_compiles" 0 (fun rt _ -> Int rt.tiering.t_compiles);
+  n "tier_hits" 0 (fun rt _ -> Int rt.tiering.t_cache_hits);
+  n "tier_deopts" 0 (fun rt _ -> Int rt.tiering.t_deopts);
   n "veq" 2 (fun _ a -> Value.of_bool (Value.equal (arg a 0) (arg a 1)))
 
 let install_str rt =
@@ -181,7 +184,7 @@ let install rt =
   install_compiledfn rt;
   install_lancet rt
 
-let boot () =
-  let rt = Runtime.create () in
+let boot ?tiering ?tier_threshold ?tier_cache_size () =
+  let rt = Runtime.create ?tiering ?tier_threshold ?tier_cache_size () in
   install rt;
   rt

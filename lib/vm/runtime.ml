@@ -4,7 +4,8 @@
 
 open Types
 
-let create () =
+let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
+    () =
   {
     classes = Hashtbl.create 64;
     next_oid = 0;
@@ -16,7 +17,22 @@ let create () =
     compiled = Hashtbl.create 16;
     next_compiled = 0;
     compile_hook = None;
+    jit_hook = None;
     interp_steps = 0;
+    tiering =
+      {
+        t_enabled = tiering;
+        t_threshold = max 1 tier_threshold;
+        t_cache_size = max 1 tier_cache_size;
+        t_cache = Hashtbl.create 64;
+        t_order = Queue.create ();
+        t_gen = Hashtbl.create 64;
+        t_compiles = 0;
+        t_cache_hits = 0;
+        t_cache_misses = 0;
+        t_evictions = 0;
+        t_deopts = 0;
+      };
   }
 
 let alloc rt cls =
@@ -76,3 +92,91 @@ let compiled_body rt id =
   match Hashtbl.find_opt rt.compiled id with
   | Some f -> f
   | None -> vm_error "no compiled function with id %d" id
+
+(* ------------------------------------------------------------------ *)
+(* Tiered execution: the runtime code cache                            *)
+
+let tier_gen rt mid =
+  match Hashtbl.find_opt rt.tiering.t_gen mid with Some g -> g | None -> 0
+
+(* Evict the oldest resident entry (FIFO).  Queue entries may be stale
+   (invalidated or re-installed methods); skip until a live one is found. *)
+let rec tier_evict rt =
+  let t = rt.tiering in
+  match Queue.take_opt t.t_order with
+  | None -> ()
+  | Some mid -> (
+    match Hashtbl.find_opt t.t_cache mid with
+    | None -> tier_evict rt (* stale queue entry *)
+    | Some e ->
+      Hashtbl.remove t.t_cache mid;
+      (* back to cold: the method may become hot and recompile later *)
+      (match e.ce_meth.mtier with
+      | Tier_compiled _ -> e.ce_meth.mtier <- Tier_cold
+      | _ -> ());
+      t.t_evictions <- t.t_evictions + 1)
+
+let tier_install rt (m : meth) fn =
+  let t = rt.tiering in
+  let entry = { ce_meth = m; ce_fn = fn; ce_gen = tier_gen rt m.mid } in
+  if
+    (not (Hashtbl.mem t.t_cache m.mid))
+    && Hashtbl.length t.t_cache >= t.t_cache_size
+  then tier_evict rt;
+  Hashtbl.replace t.t_cache m.mid entry;
+  Queue.add m.mid t.t_order;
+  m.mtier <- Tier_compiled fn
+
+(* Drop the installed code for [m] and bump its generation stamp, so that
+   stale entries can never be re-activated (the [Lancet.stable] recompile
+   path and explicit invalidation both land here). *)
+let tier_invalidate rt (m : meth) =
+  let t = rt.tiering in
+  Hashtbl.replace t.t_gen m.mid (tier_gen rt m.mid + 1);
+  Hashtbl.remove t.t_cache m.mid;
+  match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ()
+
+(* Promote a hot method through the installed [jit_hook]; a hook failure
+   (or absence of a result) blacklists the method so we never retry. *)
+let tier_promote rt (m : meth) : (value array -> value) option =
+  match rt.jit_hook with
+  | None -> None
+  | Some hook -> (
+    m.mtier <- Tier_compiling;
+    match hook rt m with
+    | Some fn ->
+      rt.tiering.t_compiles <- rt.tiering.t_compiles + 1;
+      tier_install rt m fn;
+      Some fn
+    | None ->
+      m.mtier <- Tier_blacklisted;
+      None
+    | exception _ ->
+      m.mtier <- Tier_blacklisted;
+      None)
+
+(* The per-call tier dispatch used by the interpreter: return the compiled
+   entry point when one is installed, promoting the method first if it just
+   crossed the hotness threshold. *)
+let tiered_fn rt (m : meth) : (value array -> value) option =
+  match m.mtier with
+  | Tier_compiled fn ->
+    rt.tiering.t_cache_hits <- rt.tiering.t_cache_hits + 1;
+    Some fn
+  | Tier_compiling | Tier_blacklisted -> None
+  | Tier_cold ->
+    let t = rt.tiering in
+    if not t.t_enabled then None
+    else begin
+      t.t_cache_misses <- t.t_cache_misses + 1;
+      if m.mcalls + m.mbackedges >= t.t_threshold then tier_promote rt m
+      else None
+    end
+
+let tier_stats_string rt =
+  let t = rt.tiering in
+  Printf.sprintf
+    "compiles=%d cache_hits=%d cache_misses=%d evictions=%d deopts=%d \
+     interp_steps=%d"
+    t.t_compiles t.t_cache_hits t.t_cache_misses t.t_evictions t.t_deopts
+    rt.interp_steps

@@ -4,9 +4,18 @@
 
 open Types
 
-val create : unit -> runtime
+val create :
+  ?tiering:bool ->
+  ?tier_threshold:int ->
+  ?tier_cache_size:int ->
+  unit ->
+  runtime
 (** A fresh runtime with no classes; see {!Natives.boot} for one with the
-    builtin classes installed. *)
+    builtin classes installed.  [tiering] enables hotness-driven method
+    promotion (off by default; it only takes effect once a [jit_hook] is
+    installed, e.g. by [Lancet.Api.install]); [tier_threshold] is the
+    combined invocation + back-edge count that triggers compilation and
+    [tier_cache_size] bounds the number of resident compiled methods. *)
 
 val alloc : runtime -> cls -> obj
 (** Allocate an instance with all fields [Null]. *)
@@ -30,3 +39,30 @@ val register_compiled : runtime -> (value array -> value) -> int
 (** Register an OCaml function as a CompiledFn body; returns its id. *)
 
 val compiled_body : runtime -> int -> value array -> value
+
+(** {2 Tiered execution: the runtime code cache}
+
+    Compiled method bodies are keyed by method id with a generation stamp;
+    installation evicts FIFO beyond [tier_cache_size].  Statistics live on
+    [rt.tiering]. *)
+
+val tier_gen : runtime -> int -> int
+(** Current generation stamp of a method id (0 until first invalidation). *)
+
+val tier_install : runtime -> meth -> (value array -> value) -> unit
+(** Install a compiled entry point for [m] at its current generation. *)
+
+val tier_invalidate : runtime -> meth -> unit
+(** Drop [m]'s installed code and bump its generation stamp. *)
+
+val tier_promote : runtime -> meth -> (value array -> value) option
+(** Compile [m] through the installed [jit_hook] and install the result;
+    [None] (or a raising hook) blacklists the method. *)
+
+val tiered_fn : runtime -> meth -> (value array -> value) option
+(** Per-call tier dispatch: the installed compiled entry point, if any,
+    promoting the method first when it just crossed the hotness threshold.
+    Updates hit/miss statistics. *)
+
+val tier_stats_string : runtime -> string
+(** One-line summary of the tiering counters, for benches and logging. *)

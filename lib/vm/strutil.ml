@@ -1,0 +1,22 @@
+(* Small string helpers shared across the VM, the Lancet compiler and the
+   CLI.  [contains] replaces the previous per-module naive implementations
+   that allocated a [String.sub] per candidate position. *)
+
+(* Substring test without intermediate allocations: first-char probe, then a
+   char-by-char comparison of the remainder.  O(|s| * |sub|) worst case but
+   linear on typical inputs (method-name patterns, CLI filters). *)
+let contains (s : string) (sub : string) : bool =
+  let ls = String.length s and lsub = String.length sub in
+  if lsub = 0 then true
+  else if lsub > ls then false
+  else begin
+    let c0 = String.unsafe_get sub 0 in
+    let limit = ls - lsub in
+    let rec rest i j =
+      j >= lsub || (String.unsafe_get s (i + j) = String.unsafe_get sub j && rest i (j + 1))
+    in
+    let rec go i =
+      i <= limit && ((String.unsafe_get s i = c0 && rest i 1) || go (i + 1))
+    in
+    go 0
+  end

@@ -48,7 +48,18 @@ and meth = {
   mutable mnlocals : int; (* local slots incl. receiver and parameters *)
   mutable mmaxstack : int;
   mutable mcode : code;
+  (* tiered-execution profiling: bumped by the interpreter, read by the
+     promotion logic in [Runtime.tiered_fn] *)
+  mutable mcalls : int; (* invocation counter *)
+  mutable mbackedges : int; (* backward-jump counter *)
+  mutable mtier : tier_state;
 }
+
+and tier_state =
+  | Tier_cold (* interpreted; eligible for promotion once hot *)
+  | Tier_compiling (* promotion in flight: blocks re-entrant compiles *)
+  | Tier_compiled of (value array -> value) (* tier-1 entry point *)
+  | Tier_blacklisted (* compilation failed; stay in the interpreter *)
 
 and code =
   | Bytecode of instr array
@@ -116,7 +127,34 @@ and runtime = {
   mutable next_compiled : int;
   mutable compile_hook : (runtime -> value -> value) option;
     (* installed by Lancet: implements the [Lancet.compile] native *)
+  mutable jit_hook : (runtime -> meth -> (value array -> value) option) option;
+    (* installed by Lancet: compiles a hot bytecode method for the tiered
+       execution engine; [None] result blacklists the method *)
   mutable interp_steps : int; (* instruction counter, for tests/benches *)
+  tiering : tiering;
+}
+
+(* Tiered execution: knobs, the runtime code cache and its statistics.
+   The cache maps method id -> installed entry; a per-method generation
+   stamp lets [stable]-style recompiles invalidate cleanly. *)
+and tiering = {
+  mutable t_enabled : bool;
+  mutable t_threshold : int; (* promote when mcalls + mbackedges reach this *)
+  mutable t_cache_size : int; (* max resident compiled methods *)
+  t_cache : (int, cache_entry) Hashtbl.t; (* method id -> entry *)
+  t_order : int Queue.t; (* FIFO installation order, drives eviction *)
+  t_gen : (int, int) Hashtbl.t; (* method id -> current generation *)
+  mutable t_compiles : int;
+  mutable t_cache_hits : int;
+  mutable t_cache_misses : int;
+  mutable t_evictions : int;
+  mutable t_deopts : int;
+}
+
+and cache_entry = {
+  ce_meth : meth;
+  ce_fn : value array -> value;
+  ce_gen : int; (* generation the entry was compiled at *)
 }
 
 exception Vm_error of string

@@ -5,6 +5,7 @@ let () =
       ("lms", Test_lms.suite);
       ("mini", Test_mini.suite);
       ("lancet", Test_lancet.suite);
+      ("tiering", Test_tiering.suite);
       ("csv", Test_csv.suite);
       ("optiml", Test_optiml.suite);
       ("safeint", Test_safeint.suite);

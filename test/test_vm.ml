@@ -460,9 +460,45 @@ let prop_codegen_verifies =
       ignore (Verifier.verify_all rt);
       true)
 
+(* ---- Strutil: the shared substring test ---- *)
+
+let test_strutil_contains () =
+  let check_c s sub want =
+    Alcotest.(check bool)
+      (Printf.sprintf "contains %S %S" s sub)
+      want (Strutil.contains s sub)
+  in
+  check_c "" "" true;
+  check_c "abc" "" true;
+  check_c "" "a" false;
+  check_c "abc" "abc" true;
+  check_c "abc" "abcd" false;
+  check_c "hello world" "lo w" true;
+  check_c "hello world" "low" false;
+  check_c "aaab" "aab" true;
+  check_c "ababab" "abb" false;
+  check_c "xxabc" "abc" true;
+  check_c "abcxx" "abc" true
+
+(* agrees with a naive String.sub reference on random inputs *)
+let prop_strutil_contains =
+  QCheck.Test.make ~count:500 ~name:"strutil-contains-matches-naive"
+    QCheck.(pair (string_of_size Gen.(0 -- 30)) (string_of_size Gen.(0 -- 5)))
+    (fun (s, sub) ->
+      let naive =
+        let ls = String.length s and lsub = String.length sub in
+        let rec go i =
+          i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1))
+        in
+        lsub = 0 || go 0
+      in
+      Strutil.contains s sub = naive)
+
 let suite =
   suite
   @ [
+      Alcotest.test_case "strutil-contains" `Quick test_strutil_contains;
+      QCheck_alcotest.to_alcotest prop_strutil_contains;
       Alcotest.test_case "verifier-good" `Quick test_verifier_accepts_good_code;
       Alcotest.test_case "verifier-underflow" `Quick test_verifier_rejects_underflow;
       Alcotest.test_case "verifier-bad-local" `Quick test_verifier_rejects_bad_local;
