@@ -5,12 +5,15 @@
    see EXPERIMENTS.md for the paper-vs-measured discussion.
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
-                          table2-namescore|ablate|micro|tiered|check|all]
+                          table2-namescore|ablate|micro|tiered|obs|check|all]
 
    [tiered] compares the pure interpreter against the tiered execution
-   engine (hotness-driven method JIT) and writes BENCH_tiered.json;
-   [check] is the fast correctness-only gate wired into the runtest
-   alias. *)
+   engine (hotness-driven method JIT) and writes BENCH_tiered.json (with
+   an event-kind breakdown per workload); [obs] measures the cost of one
+   observability emit site with and without a sink and writes
+   BENCH_obs.json; [check] is the fast correctness-only gate wired into
+   the runtest alias (now including a Chrome-trace smoke test and the
+   no-sink emit-overhead guard). *)
 
 open Vm.Types
 module Exec = Delite.Exec
@@ -437,12 +440,15 @@ type tier_row = {
   tr_compiles : int;
   tr_hits : int;
   tr_deopts : int;
+  tr_events : (string * int) list; (* observed event kind -> count *)
 }
 
 (* Run one workload twice — pure interpreter and tiered runtime — check the
    results agree and report the timings plus the tiered counters.  The
    tiered timing includes JIT compilation (that is the deal a tiered VM
-   offers). *)
+   offers).  A third, untimed tiered run executes with a ring-buffer sink
+   attached and reports the event-kind breakdown, so speedup claims ship
+   with compile/deopt evidence; the timed legs stay sink-free. *)
 let tier_workload name src (driver : Vm.Types.runtime -> Mini.Front.program -> value) =
   let run tiered =
     let rt =
@@ -458,6 +464,24 @@ let tier_workload name src (driver : Vm.Types.runtime -> Mini.Front.program -> v
   let rtt, vt, tt = run true in
   if not (Vm.Value.equal vi vt) then
     failwith (Printf.sprintf "tiered %s: result mismatch" name);
+  let ring = Obs.Ring.create ~capacity:65536 () in
+  let ve =
+    Obs.with_sink (Obs.Ring.sink ring) (fun () ->
+        let _, ve, _ = run true in
+        ve)
+  in
+  if not (Vm.Value.equal vi ve) then
+    failwith (Printf.sprintf "tiered %s: instrumented result mismatch" name);
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let k = Obs.kind_name ev in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    (Obs.Ring.events ring);
+  let events =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   {
     tr_name = name;
     tr_interp_ms = ti;
@@ -465,6 +489,7 @@ let tier_workload name src (driver : Vm.Types.runtime -> Mini.Front.program -> v
     tr_compiles = rtt.tiering.t_compiles;
     tr_hits = rtt.tiering.t_cache_hits;
     tr_deopts = rtt.tiering.t_deopts;
+    tr_events = events;
   }
 
 let tier_rows ~small =
@@ -523,13 +548,17 @@ let tier_rows ~small =
 
 let tier_json rows =
   let row r =
+    let events =
+      String.concat ", "
+        (List.map (fun (k, n) -> Printf.sprintf "%S: %d" k n) r.tr_events)
+    in
     Printf.sprintf
       "    {\"workload\": %S, \"interp_ms\": %.3f, \"tiered_ms\": %.3f, \
        \"speedup\": %.3f, \"compiles\": %d, \"cache_hits\": %d, \"deopts\": \
-       %d}"
+       %d, \"events\": {%s}}"
       r.tr_name r.tr_interp_ms r.tr_tiered_ms
       (r.tr_interp_ms /. r.tr_tiered_ms)
-      r.tr_compiles r.tr_hits r.tr_deopts
+      r.tr_compiles r.tr_hits r.tr_deopts events
   in
   Printf.sprintf "{\n  \"workloads\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map row rows))
@@ -546,10 +575,110 @@ let tiered () =
         (r.tr_interp_ms /. r.tr_tiered_ms)
         r.tr_compiles r.tr_hits r.tr_deopts)
     rows;
+  pr "\nevent breakdown (instrumented re-run, ring-buffer sink):\n";
+  List.iter
+    (fun r ->
+      pr "%-18s %s\n" r.tr_name
+        (String.concat " "
+           (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) r.tr_events)))
+    rows;
   let oc = open_out "BENCH_tiered.json" in
   output_string oc (tier_json rows);
   close_out oc;
   pr "\nwrote BENCH_tiered.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Observability: emit-site overhead and trace smoke test               *)
+
+(* Cost of one guarded emit site (`if !Obs.enabled then Obs.emit ...`),
+   measured against the same loop without the site.  With no sink attached
+   the site must be a single load+branch; with a ring sink it pays for a
+   timestamp and an array store. *)
+let obs_overhead ~iters =
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline =
+    time (fun () ->
+        for i = 1 to iters do
+          body i
+        done)
+  in
+  let emit_loop () =
+    for i = 1 to iters do
+      body i;
+      if !Obs.enabled then
+        Obs.emit (Obs.Interp_call { meth = "bench"; mid = 0; calls = i; backedges = 0 })
+    done
+  in
+  let no_sink = time emit_loop in
+  let ring = Obs.Ring.create ~capacity:4096 () in
+  let with_ring = Obs.with_sink (Obs.Ring.sink ring) (fun () -> time emit_loop) in
+  ignore !acc;
+  let per_ns t = (t -. baseline) /. float_of_int iters *. 1e9 in
+  (per_ns no_sink, per_ns with_ring, Obs.Ring.seen ring)
+
+(* Hard guard on the disabled fast path: the bound is an order of magnitude
+   above the real cost of a load+branch, so it only trips if an emit site
+   accidentally allocates or calls out when no sink is attached. *)
+let obs_guard ~iters =
+  let no_sink_ns, _, _ = obs_overhead ~iters in
+  if no_sink_ns > 15.0 then
+    failwith
+      (Printf.sprintf "obs: disabled emit site costs %.1fns (> 15ns budget)"
+         no_sink_ns)
+
+let obs_bench () =
+  header "Observability: emit-site overhead (no sink vs ring buffer)";
+  let iters = 20_000_000 in
+  let no_sink_ns, ring_ns, seen = obs_overhead ~iters in
+  pr "\n%-28s %10.2f ns/site\n" "no sink (single branch)" no_sink_ns;
+  pr "%-28s %10.2f ns/site  (%d events)\n" "ring-buffer sink" ring_ns seen;
+  obs_guard ~iters:2_000_000;
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"iters\": %d,\n  \"no_sink_ns_per_emit\": %.3f,\n  \
+        \"ring_ns_per_emit\": %.3f\n}\n"
+       iters no_sink_ns ring_ns);
+  close_out oc;
+  pr "\nwrote BENCH_obs.json\n"
+
+(* Trace smoke test for the runtest gate: a small tiered kmeans run with a
+   Chrome sink attached must produce well-formed JSON containing at least
+   one compile-end event. *)
+let trace_smoke () =
+  let chrome = Obs.Chrome.create () in
+  Obs.with_sink (Obs.Chrome.sink chrome) (fun () ->
+      let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:4 () in
+      let p = Mini.Front.load rt tiered_kmeans_src in
+      let d = 3 and k = 2 in
+      let rows = 20 in
+      let ps = Array.init (rows * d) (fun i -> float_of_int (i mod 17) /. 3.) in
+      let cs = Array.init (k * d) (fun i -> float_of_int (i mod 5) /. 2.) in
+      for _ = 1 to 10 do
+        ignore
+          (Mini.Front.call p "assign_all"
+             [| Farr ps; Farr cs; Int rows; Int d; Int k |])
+      done);
+  let path = Filename.temp_file "lancet_trace" ".json" in
+  Obs.Chrome.write chrome path;
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Obs.Json.validate data with
+  | Ok () -> ()
+  | Error e -> failwith ("trace smoke: invalid JSON: " ^ e));
+  if not (Vm.Strutil.contains data "compile-end") then
+    failwith "trace smoke: no compile-end event in trace";
+  pr "trace smoke ok (%d events, %d bytes of JSON)\n"
+    (Obs.Chrome.event_count chrome)
+    (String.length data)
 
 (* Fast correctness gate (runs under the dune [runtest] alias): same
    workloads at small sizes, results must match the interpreter and the
@@ -567,6 +696,13 @@ let tier_check () =
   (match List.find_opt (fun r -> r.tr_name = "speculate-deopt") rows with
   | Some r when r.tr_deopts > 0 -> ()
   | _ -> failwith "speculate workload: expected deopts");
+  List.iter
+    (fun r ->
+      if r.tr_compiles > 0 && List.assoc_opt "compile-end" r.tr_events = None
+      then failwith (r.tr_name ^ ": compiles counted but no compile-end event"))
+    rows;
+  trace_smoke ();
+  obs_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
 
 (* ------------------------------------------------------------------ *)
@@ -584,6 +720,7 @@ let () =
   | "ablate" -> ablate ()
   | "micro" -> micro ()
   | "tiered" -> tiered ()
+  | "obs" -> obs_bench ()
   | "check" -> tier_check ()
   | "all" ->
     table1 ();
@@ -592,7 +729,8 @@ let () =
     table2 H.Namescore "Table 2c: name score" ~with_manual:false ();
     ablate ();
     micro ();
-    tiered ()
+    tiered ();
+    obs_bench ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);
     exit 1

@@ -23,14 +23,125 @@ let load path =
   let p = Mini.Front.load rt (read_file path) in
   (rt, p)
 
+(* ---- observability sinks shared by run/trace ---- *)
+
+(* HotSpot-PrintCompilation-style log: compile/deopt/cache events only
+   (interp-call samples and spans would swamp the terminal). *)
+let compilation_sink () =
+  {
+    Obs.sink_name = "print-compilation";
+    sink_emit =
+      (fun ~ts:_ ev ->
+        match ev with
+        | Obs.Compile_start _ | Obs.Compile_end _ | Obs.Deopt _
+        | Obs.Tier_promote _ | Obs.Cache_install _ | Obs.Cache_evict _
+        | Obs.Cache_invalidate _ ->
+          prerr_string ("[jit] " ^ Obs.to_string ev ^ "\n")
+        | _ -> ());
+    sink_flush = ignore;
+  }
+
+(* Collect deopt sites so they can be rendered with a disassembly marker. *)
+let deopt_collector acc =
+  {
+    Obs.sink_name = "deopt-sites";
+    sink_emit =
+      (fun ~ts:_ ev ->
+        match ev with
+        | Obs.Deopt { meth; mid; tag; pc; _ } -> acc := (meth, mid, tag, pc) :: !acc
+        | _ -> ());
+    sink_flush = ignore;
+  }
+
+let find_method_by_id rt mid : Vm.Types.meth option =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ (cls : Vm.Types.cls) ->
+      List.iter
+        (fun (m : Vm.Types.meth) -> if m.Vm.Types.mid = mid then found := Some m)
+        cls.Vm.Types.cmethods)
+    rt.Vm.Types.classes;
+  !found
+
+let print_deopt_sites rt (deopts : (string * int * string * int) list) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (meth, mid, tag, pc) ->
+      if not (Hashtbl.mem seen (mid, pc)) then begin
+        Hashtbl.replace seen (mid, pc) ();
+        Format.printf "@.deopt site: %s at pc %d (%s)@." meth pc tag;
+        match find_method_by_id rt mid with
+        | Some m -> Format.printf "%s@." (Vm.Disasm.method_to_string ~mark:pc m)
+        | None -> ()
+      end)
+    (List.rev deopts)
+
 (* ---- run ---- *)
 
-let run_cmd tiered threshold file fn args =
+let run_cmd tiered threshold trace print_compilation stats file fn args =
   let rt = Lancet.Api.boot ~tiering:tiered ~tier_threshold:threshold () in
+  let chrome =
+    Option.map
+      (fun _ ->
+        let c = Obs.Chrome.create () in
+        Obs.attach (Obs.Chrome.sink c);
+        c)
+      trace
+  in
+  if print_compilation then Obs.attach (compilation_sink ());
+  let profile =
+    if stats then begin
+      let p = Obs.Profile.create () in
+      Obs.attach (Obs.Profile.sink p);
+      Some p
+    end
+    else None
+  in
   let p = Mini.Front.load rt (read_file file) in
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
+  Obs.flush ();
   Format.printf "%a@." Vm.Value.pp v;
-  if tiered then Format.eprintf "[tier] %s@." (Vm.Runtime.tier_stats_string rt);
+  (match (trace, chrome) with
+  | Some path, Some c ->
+    Obs.Chrome.write c path;
+    Format.eprintf "[obs] %d events -> %s@." (Obs.Chrome.event_count c) path
+  | _ -> ());
+  (match profile with
+  | Some p -> Format.eprintf "@[<v>per-method profile:@,%s@]@." (Obs.Profile.table p)
+  | None -> ());
+  if tiered || stats then
+    Format.eprintf "[tier] %s@." (Vm.Runtime.tier_stats_string rt);
+  0
+
+(* ---- trace: run tiered, write a Chrome trace + profile table ---- *)
+
+let trace_cmd threshold repeat out file fn args =
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
+  let chrome = Obs.Chrome.create () in
+  let profile = Obs.Profile.create () in
+  let deopts = ref [] in
+  Obs.attach (Obs.Chrome.sink chrome);
+  Obs.attach (Obs.Profile.sink profile);
+  Obs.attach (deopt_collector deopts);
+  let p = Mini.Front.load rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  for _ = 1 to max 1 repeat do
+    v := Mini.Front.call p fn argv
+  done;
+  Obs.flush ();
+  let out =
+    match out with
+    | Some o -> o
+    | None -> Filename.remove_extension (Filename.basename file) ^ ".trace.json"
+  in
+  Obs.Chrome.write chrome out;
+  Format.printf "result: %a@." Vm.Value.pp !v;
+  Format.printf "trace:  %s (%d events; open in chrome://tracing or ui.perfetto.dev)@."
+    out (Obs.Chrome.event_count chrome);
+  Format.printf "@.per-method profile:@.%s" (Obs.Profile.table profile);
+  print_deopt_sites rt !deopts;
+  Format.printf "@.[tier] %s@." (Vm.Runtime.tier_stats_string rt);
   0
 
 (* ---- disasm ---- *)
@@ -100,10 +211,57 @@ let tier_threshold =
     & info [ "tier-threshold" ] ~docv:"N"
         ~doc:"Hotness threshold (calls + back-edges) for promotion")
 
+let trace_opt =
+  Arg.(
+    value
+    & opt ~vopt:(Some "trace.json") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of all JIT events to $(docv) \
+           (default trace.json); open in chrome://tracing")
+
+let print_compilation_flag =
+  Arg.(
+    value & flag
+    & info [ "print-compilation" ]
+        ~doc:"Log compile/deopt/cache events to stderr as they happen")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print a per-method profile table and tiering counters on exit")
+
 let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
-    Term.(const run_cmd $ tiered_flag $ tier_threshold $ file $ fn_pos $ rest)
+    Term.(
+      const run_cmd $ tiered_flag $ tier_threshold $ trace_opt
+      $ print_compilation_flag $ stats_flag $ file $ fn_pos $ rest)
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Trace output path (default: <prog>.trace.json)")
+
+let trace_repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N" ~doc:"Call FUNCTION $(docv) times")
+
+let trace_fn = Arg.(value & pos 1 string "main" & info [] ~docv:"FUNCTION")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a Mini function under the tiered JIT and write a Chrome \
+          trace_event JSON plus a per-method profile table")
+    Term.(
+      const trace_cmd $ tier_threshold $ trace_repeat $ trace_out $ file
+      $ trace_fn $ rest)
 
 let disasm_names =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")
@@ -137,4 +295,7 @@ let js_t =
 
 let () =
   let doc = "Lancet: a surgical-precision JIT for Mini/VM bytecode" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "lancet" ~doc) [ run_t; disasm_t; verify_t; compile_t; js_t ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "lancet" ~doc)
+          [ run_t; trace_t; disasm_t; verify_t; compile_t; js_t ]))

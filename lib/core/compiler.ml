@@ -1341,6 +1341,10 @@ and do_call ctx (m : meth) args : [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] 
   let full = m.mowner.cname ^ "." ^ m.mname in
   match Hashtbl.find_opt ctx.macros full with
   | Some macro -> (
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Macro_expand
+           { name = full; in_meth = Vm.Runtime.meth_label ctx.frame.sf_meth });
     match macro ctx args with
     | Val r ->
       push ctx r;
@@ -1534,33 +1538,40 @@ let make_ctx ?(opts = default_options) rt nparams =
    preexisting heap objects); [Dyn] arguments become graph parameters.
    Returns the optimized graph, whose parameters are the Dyn arguments in
    order. *)
+(* IR node counts of the most recent [stage] call: (after staging, after
+   dead-code elimination).  Read by [Tiering] to fill [Compile_end] events. *)
+let last_node_counts = ref (0, 0)
+
 let stage ?(opts = default_options) rt (m : meth) (spec : arg_spec array) :
     Ir.graph =
-  let ndyn =
-    Array.fold_left (fun n s -> match s with Dyn -> n + 1 | _ -> n) 0 spec
-  in
-  let ctx, dummy = make_ctx ~opts rt ndyn in
-  ctx.frame <- dummy m;
-  let next_param = ref 0 in
-  let args =
-    Array.map
-      (fun s ->
-        match s with
-        | Dyn ->
-          let p = B.param ctx.bld !next_param Ir.Tany in
-          incr next_param;
-          p
-        | Static_value v -> lift_const ctx v)
-      spec
-  in
-  (match exec_in_frame ctx ~parent:None m args with
-  | Val r ->
-    let r = resolve_materialized ctx r in
-    if not (B.in_dead_code ctx.bld) then B.terminate ctx.bld (Ir.Ret r)
-  | Diverge -> ());
-  let g = B.graph ctx.bld in
-  Ir.dead_code_elim g;
-  g
+  Obs.span ~cat:"jit" ("stage:" ^ opts.name) (fun () ->
+      let ndyn =
+        Array.fold_left (fun n s -> match s with Dyn -> n + 1 | _ -> n) 0 spec
+      in
+      let ctx, dummy = make_ctx ~opts rt ndyn in
+      ctx.frame <- dummy m;
+      let next_param = ref 0 in
+      let args =
+        Array.map
+          (fun s ->
+            match s with
+            | Dyn ->
+              let p = B.param ctx.bld !next_param Ir.Tany in
+              incr next_param;
+              p
+            | Static_value v -> lift_const ctx v)
+          spec
+      in
+      (match exec_in_frame ctx ~parent:None m args with
+      | Val r ->
+        let r = resolve_materialized ctx r in
+        if not (B.in_dead_code ctx.bld) then B.terminate ctx.bld (Ir.Ret r)
+      | Diverge -> ());
+      let g = B.graph ctx.bld in
+      let before = Ir.node_count g in
+      Obs.span ~cat:"jit" "opt:dce" (fun () -> Ir.dead_code_elim g);
+      last_node_counts := (before, Ir.node_count g);
+      g)
 
 (* build runtime interpreter frames from side-exit metadata + live values *)
 let reconstruct_frames (se : Ir.side_exit) (vals : value array) :
@@ -1676,6 +1687,47 @@ let compile_graph_typed rt (g : Ir.graph) ~(recompile : unit -> unit) :
 (* graph of the most recent [compile_value], for tests and tooling *)
 let last_graph : Ir.graph option ref = ref None
 
+(* Wrap a tier-0 graph build (the explicit [Lancet.compile] /
+   [compile_method] entry points; the tiered path has its own accounting in
+   [Tiering]) with Compile_start/Compile_end events.  Backend choice and
+   fallback reason are recovered from the typed-backend counters. *)
+let obs_compile0 (m : meth) (build : unit -> 'a) : 'a =
+  if not !Obs.enabled then build ()
+  else begin
+    let meth = Vm.Runtime.meth_label m and mid = m.mid in
+    Obs.emit (Obs.Compile_start { meth; mid; tier = 0 });
+    let t0 = Obs.now () in
+    let ty0 = !Lms.Typed_backend.count_typed in
+    let fb0 = !Lms.Typed_backend.count_fallback in
+    let emit_end backend fallback =
+      let nodes_in, nodes_out = !last_node_counts in
+      Obs.emit
+        (Obs.Compile_end
+           {
+             ci_meth = meth;
+             ci_mid = mid;
+             ci_tier = 0;
+             ci_backend = backend;
+             ci_fallback = fallback;
+             ci_nodes_in = nodes_in;
+             ci_nodes_out = nodes_out;
+             ci_ms = (Obs.now () -. t0) *. 1000.;
+           })
+    in
+    match build () with
+    | v ->
+      let fell = !Lms.Typed_backend.count_fallback > fb0 in
+      let backend =
+        if !Lms.Typed_backend.count_typed > ty0 then "typed" else "closure"
+      in
+      emit_end backend
+        (if fell then Some !Lms.Typed_backend.last_fallback else None);
+      v
+    | exception e ->
+      emit_end "failed" None;
+      raise e
+  end
+
 (* The user-facing [Lancet.compile]: compile a closure object with respect
    to its captured state.  Returns a CompiledFn whose body can be swapped by
    recompilation (the [stable]/[fastpath] path). *)
@@ -1692,9 +1744,10 @@ let compile_value ?(opts = default_options) rt (v : value) : value =
       in
       let cell = ref (fun _ -> Null) in
       let rec build () =
-        let g = stage ~opts rt apply spec in
-        last_graph := Some g;
-        cell := compile_graph rt g ~recompile:(fun () -> build ())
+        obs_compile0 apply (fun () ->
+            let g = stage ~opts rt apply spec in
+            last_graph := Some g;
+            cell := compile_graph rt g ~recompile:(fun () -> build ()))
       in
       build ();
       Vm.Natives.make_compiled_fn rt (fun args -> !cell args))
@@ -1706,11 +1759,12 @@ let compile_value ?(opts = default_options) rt (v : value) : value =
 let compile_method ?(opts = default_options) ?(typed = false) rt (m : meth)
     (spec : arg_spec array) : value array -> value =
   let backend = if typed then compile_graph_typed else compile_graph in
-  let g = stage ~opts rt m spec in
-  last_graph := Some g;
   let cell = ref (fun _ -> Null) in
-  (cell :=
-     backend rt g ~recompile:(fun () ->
-         let g' = stage ~opts rt m spec in
-         cell := backend rt g' ~recompile:(fun () -> ())));
+  obs_compile0 m (fun () ->
+      let g = stage ~opts rt m spec in
+      last_graph := Some g;
+      cell :=
+        backend rt g ~recompile:(fun () ->
+            let g' = stage ~opts rt m spec in
+            cell := backend rt g' ~recompile:(fun () -> ())));
   fun args -> !cell args

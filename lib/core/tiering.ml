@@ -10,7 +10,15 @@
    macros) additionally bump the method's cache generation and rebuild the
    graph with the current values frozen before resuming — the same
    cell-swapping scheme as [Compiler.compile_value], so the cached entry
-   point stays valid across recompiles. *)
+   point stays valid across recompiles.
+
+   Observability: every graph build — initial promotion and on-exit
+   recompile alike — goes through [build], which is the single place that
+   counts [t_compiles] and emits [Compile_start]/[Compile_end] (backend
+   chosen, typed-backend fallback reason, IR node counts, wall time).  Side
+   exits emit [Deopt] with the bytecode pc of the innermost frame, and the
+   installed entry point samples its own execution time into [Exec_sample]
+   events when a sink is attached. *)
 
 open Vm.Types
 module C = Compiler
@@ -22,42 +30,109 @@ module C = Compiler
 let compile_method_dyn rt (m : meth) : (value array -> value) option =
   let nslots = m.mnargs + if m.mstatic then 0 else 1 in
   let spec = Array.make (max nslots 0) C.Dyn in
-  let opts =
-    { C.default_options with C.name = "tier:" ^ m.mowner.cname ^ "." ^ m.mname }
-  in
+  let label = Vm.Runtime.meth_label m in
+  let opts = { C.default_options with C.name = "tier:" ^ label } in
   let cell = ref (fun _ -> Null) in
+  (* Execution-time sampling for the installed entry point: the first call
+     and every 64th call thereafter flush the accumulated wall time. *)
+  let exec_total = ref 0 in
+  let pend_calls = ref 0 in
+  let pend_ms = ref 0.0 in
+  let entry args =
+    if not !Obs.enabled then !cell args
+    else begin
+      let t0 = Obs.now () in
+      let v = !cell args in
+      incr exec_total;
+      incr pend_calls;
+      pend_ms := !pend_ms +. ((Obs.now () -. t0) *. 1000.);
+      if !exec_total = 1 || !pend_calls >= 64 then begin
+        Obs.emit
+          (Obs.Exec_sample
+             { meth = label; mid = m.mid; calls = !pend_calls; ms = !pend_ms });
+        pend_calls := 0;
+        pend_ms := 0.0
+      end;
+      v
+    end
+  in
   let rec build () =
-    let g = C.stage ~opts rt m spec in
-    let base = Lms.Closure_backend.default_hooks rt in
-    let hooks =
-      {
-        base with
-        Lms.Closure_backend.on_exit =
-          (fun se vals ->
-            let t = rt.tiering in
-            t.t_deopts <- t.t_deopts + 1;
-            (match se.Lms.Ir.se_kind with
-            | `Recompile -> (
-              Vm.Runtime.tier_invalidate rt m;
-              match build () with
-              | () ->
-                t.t_compiles <- t.t_compiles + 1;
-                Vm.Runtime.tier_install rt m (fun args -> !cell args)
-              | exception _ -> m.mtier <- Tier_blacklisted)
-            | `Interpret -> ());
-            Vm.Interp.resume rt (C.reconstruct_frames se vals));
-      }
+    let obs = !Obs.enabled in
+    if obs then
+      Obs.emit (Obs.Compile_start { meth = label; mid = m.mid; tier = 1 });
+    let t0 = if obs then Obs.now () else 0.0 in
+    let emit_end backend fallback =
+      if !Obs.enabled then begin
+        let nodes_in, nodes_out = !C.last_node_counts in
+        Obs.emit
+          (Obs.Compile_end
+             {
+               ci_meth = label;
+               ci_mid = m.mid;
+               ci_tier = 1;
+               ci_backend = backend;
+               ci_fallback = fallback;
+               ci_nodes_in = nodes_in;
+               ci_nodes_out = nodes_out;
+               ci_ms = (Obs.now () -. t0) *. 1000.;
+             })
+      end
     in
-    (* prefer the unboxed kernel backend (hot loops are why we are here);
-       it raises [Fallback] on graphs it cannot handle *)
-    cell :=
-      (match Lms.Typed_backend.compile ~hooks g with
-      | fn -> fn
-      | exception Lms.Typed_backend.Fallback _ ->
-        Lms.Closure_backend.compile ~hooks g)
+    match
+      let g = C.stage ~opts rt m spec in
+      let base = Lms.Closure_backend.default_hooks rt in
+      let hooks =
+        {
+          base with
+          Lms.Closure_backend.on_exit =
+            (fun se vals ->
+              let t = rt.tiering in
+              t.t_deopts <- t.t_deopts + 1;
+              if !Obs.enabled then
+                Obs.emit
+                  (Obs.Deopt
+                     {
+                       meth = label;
+                       mid = m.mid;
+                       kind =
+                         (match se.Lms.Ir.se_kind with
+                         | `Interpret -> Obs.Interpret
+                         | `Recompile -> Obs.Recompile);
+                       tag = se.Lms.Ir.se_tag;
+                       pc =
+                         (match se.Lms.Ir.se_frames with
+                         | fd :: _ -> fd.Lms.Ir.fd_pc
+                         | [] -> -1);
+                     });
+              (match se.Lms.Ir.se_kind with
+              | `Recompile -> (
+                Vm.Runtime.tier_invalidate rt m;
+                match build () with
+                | () -> Vm.Runtime.tier_install rt m entry
+                | exception _ -> m.mtier <- Tier_blacklisted)
+              | `Interpret -> ());
+              Vm.Interp.resume rt (C.reconstruct_frames se vals));
+        }
+      in
+      (* prefer the unboxed kernel backend (hot loops are why we are here);
+         it raises [Fallback] on graphs it cannot handle *)
+      match Lms.Typed_backend.compile ~hooks g with
+      | fn -> (fn, "typed", None)
+      | exception Lms.Typed_backend.Fallback reason ->
+        (Lms.Closure_backend.compile ~hooks g, "closure", Some reason)
+    with
+    | fn, backend, fallback ->
+      cell := fn;
+      (* the one place compiles are counted: initial promotions and on-exit
+         recompiles share this path (satellite fix for the old asymmetry) *)
+      rt.tiering.t_compiles <- rt.tiering.t_compiles + 1;
+      emit_end backend fallback
+    | exception e ->
+      emit_end "failed" None;
+      raise e
   in
   match build () with
-  | () -> Some (fun args -> !cell args)
+  | () -> Some entry
   | exception _ -> None (* compile failure: the caller blacklists *)
 
 let jit_hook rt (m : meth) : (value array -> value) option =

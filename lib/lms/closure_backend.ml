@@ -360,3 +360,8 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
           bid := term r
         done;
         r.(ret_slot))
+
+(* Span-instrumented entry point: attributes backend compile time in traces
+   (a no-op single branch when no observability sink is attached). *)
+let compile ?hooks (g : graph) =
+  Obs.span ~cat:"jit" "backend:closure" (fun () -> compile ?hooks g)

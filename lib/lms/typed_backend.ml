@@ -432,6 +432,11 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         done;
         !ret_val)
 
+(* Span-instrumented entry point: attributes backend compile time in traces
+   (a no-op single branch when no observability sink is attached). *)
+let compile ?hooks (g : graph) =
+  Obs.span ~cat:"jit" "backend:typed" (fun () -> compile ?hooks g)
+
 (* Compile with typed lanes; transparently fall back to the boxed backend if
    the graph uses features the typed backend does not support. *)
 let compile_or_fallback ?hooks (g : graph) =

@@ -14,9 +14,14 @@ let () =
     | _ -> None)
 
 let load rt (src : string) : program =
-  let parsed = Parser.parse_program src in
-  let typed = Typecheck.check_program parsed in
-  Codegen.compile_typed rt typed
+  let parsed = Obs.span ~cat:"front" "front:parse" (fun () ->
+      Parser.parse_program src)
+  in
+  let typed = Obs.span ~cat:"front" "front:typecheck" (fun () ->
+      Typecheck.check_program parsed)
+  in
+  Obs.span ~cat:"front" "front:codegen" (fun () ->
+      Codegen.compile_typed rt typed)
 
 (* Parse + typecheck only (for tests and tooling). *)
 let typecheck (src : string) : Typecheck.tprogram =

@@ -1,0 +1,570 @@
+(* Structured observability for the surgical JIT (the "what did the JIT
+   actually do" layer): a zero-dependency event bus with typed events and
+   pluggable sinks.
+
+   Design constraints, in order:
+   1. When no sink is attached, an emit site must cost a single load+branch
+      (`if !Obs.enabled then Obs.emit (...)`) — the event payload is only
+      allocated inside the branch.  This keeps instrumentation in the
+      interpreter dispatch loop and the compiled-code entry points free.
+   2. The bus is below every other library (it knows nothing about the VM),
+      so events carry plain strings and ints: method ids, "Cls.name" labels,
+      bytecode pcs.  The VM/JIT layers translate at the emit site.
+   3. Sinks are synchronous and composable: a ring buffer for tests and
+      post-mortem dumps, a text log in the spirit of HotSpot's
+      -XX:+PrintCompilation, a Chrome trace_event JSON writer for
+      chrome://tracing, and a per-method profile aggregator. *)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+type compile_info = {
+  ci_meth : string; (* "Cls.name" *)
+  ci_mid : int; (* method id, stable key across events *)
+  ci_tier : int; (* 1 = tiered method JIT, 0 = explicit Lancet.compile *)
+  ci_backend : string; (* "typed" | "closure" | "failed" *)
+  ci_fallback : string option; (* why the typed backend was rejected *)
+  ci_nodes_in : int; (* IR nodes after staging, before optimization *)
+  ci_nodes_out : int; (* after dead-code elimination *)
+  ci_ms : float; (* wall time of stage + opt + backend *)
+}
+
+type deopt_kind = Interpret | Recompile
+
+type event =
+  | Compile_start of { meth : string; mid : int; tier : int }
+  | Compile_end of compile_info
+  | Deopt of { meth : string; mid : int; kind : deopt_kind; tag : string; pc : int }
+  | Tier_promote of { meth : string; mid : int; calls : int; backedges : int }
+  | Cache_install of { meth : string; mid : int; gen : int }
+  | Cache_evict of { meth : string; mid : int }
+  | Cache_invalidate of { meth : string; mid : int; gen : int }
+  | Macro_expand of { name : string; in_meth : string }
+  | Interp_call of { meth : string; mid : int; calls : int; backedges : int }
+  | Exec_sample of { meth : string; mid : int; calls : int; ms : float }
+      (* cumulative compiled-code execution since the previous sample *)
+  | Span_begin of { name : string; cat : string }
+  | Span_end of { name : string; cat : string; ms : float }
+
+let kind_name = function
+  | Compile_start _ -> "compile-start"
+  | Compile_end _ -> "compile-end"
+  | Deopt _ -> "deopt"
+  | Tier_promote _ -> "tier-promote"
+  | Cache_install _ -> "cache-install"
+  | Cache_evict _ -> "cache-evict"
+  | Cache_invalidate _ -> "cache-invalidate"
+  | Macro_expand _ -> "macro-expand"
+  | Interp_call _ -> "interp-call"
+  | Exec_sample _ -> "exec-sample"
+  | Span_begin _ -> "span-begin"
+  | Span_end _ -> "span-end"
+
+let deopt_kind_name = function Interpret -> "interpret" | Recompile -> "recompile"
+
+let to_string ev =
+  match ev with
+  | Compile_start e ->
+    Printf.sprintf "%-16s tier%d %s" (kind_name ev) e.tier e.meth
+  | Compile_end c ->
+    Printf.sprintf "%-16s tier%d %-32s backend=%s%s nodes %d->%d %.2fms"
+      (kind_name ev) c.ci_tier c.ci_meth c.ci_backend
+      (match c.ci_fallback with
+      | Some r -> Printf.sprintf " (fallback: %s)" r
+      | None -> "")
+      c.ci_nodes_in c.ci_nodes_out c.ci_ms
+  | Deopt e ->
+    Printf.sprintf "%-16s %s @pc %d (%s, %s)" (kind_name ev) e.meth e.pc e.tag
+      (deopt_kind_name e.kind)
+  | Tier_promote e ->
+    Printf.sprintf "%-16s %s (calls=%d backedges=%d)" (kind_name ev) e.meth
+      e.calls e.backedges
+  | Cache_install e ->
+    Printf.sprintf "%-16s %s gen=%d" (kind_name ev) e.meth e.gen
+  | Cache_evict e -> Printf.sprintf "%-16s %s" (kind_name ev) e.meth
+  | Cache_invalidate e ->
+    Printf.sprintf "%-16s %s gen=%d" (kind_name ev) e.meth e.gen
+  | Macro_expand e ->
+    Printf.sprintf "%-16s %s in %s" (kind_name ev) e.name e.in_meth
+  | Interp_call e ->
+    Printf.sprintf "%-16s %s calls=%d backedges=%d" (kind_name ev) e.meth
+      e.calls e.backedges
+  | Exec_sample e ->
+    Printf.sprintf "%-16s %s calls=%d %.3fms" (kind_name ev) e.meth e.calls e.ms
+  | Span_begin e -> Printf.sprintf "%-16s %s [%s]" (kind_name ev) e.name e.cat
+  | Span_end e ->
+    Printf.sprintf "%-16s %s [%s] %.3fms" (kind_name ev) e.name e.cat e.ms
+
+(* ------------------------------------------------------------------ *)
+(* The bus                                                             *)
+
+type sink = {
+  sink_name : string;
+  sink_emit : ts:float -> event -> unit; (* ts: seconds (Unix epoch) *)
+  sink_flush : unit -> unit;
+}
+
+(* THE fast-path flag: true iff at least one sink is attached.  Emit sites
+   must read it before allocating their event payload. *)
+let enabled = ref false
+
+let sinks : sink list ref = ref []
+
+let now = Unix.gettimeofday
+
+let attach s =
+  sinks := !sinks @ [ s ];
+  enabled := true
+
+let detach s =
+  sinks := List.filter (fun x -> x != s) !sinks;
+  enabled := !sinks <> []
+
+let emit ev =
+  if !enabled then begin
+    let ts = now () in
+    List.iter (fun s -> s.sink_emit ~ts ev) !sinks
+  end
+
+let flush () = List.iter (fun s -> s.sink_flush ()) !sinks
+
+let with_sink s f =
+  attach s;
+  Fun.protect ~finally:(fun () -> detach s) f
+
+(* Phase span: Span_begin/Span_end around [f], timing included.  With no
+   sink attached this is a single branch plus a tail call. *)
+let span ?(cat = "phase") name f =
+  if not !enabled then f ()
+  else begin
+    emit (Span_begin { name; cat });
+    let t0 = now () in
+    let fin () = emit (Span_end { name; cat; ms = (now () -. t0) *. 1000. }) in
+    match f () with
+    | v ->
+      fin ();
+      v
+    | exception e ->
+      fin ();
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Text sink (PrintCompilation-style log lines)                        *)
+
+let text_sink ?(out = prerr_string) () =
+  {
+    sink_name = "text";
+    sink_emit = (fun ~ts:_ ev -> out ("[obs] " ^ to_string ev ^ "\n"));
+    sink_flush = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer sink                                                    *)
+
+module Ring = struct
+  type t = {
+    cap : int;
+    data : (float * event) array;
+    mutable n : int; (* total events ever pushed *)
+  }
+
+  let dummy = (0.0, Span_begin { name = ""; cat = "" })
+
+  let create ?(capacity = 8192) () =
+    { cap = max 1 capacity; data = Array.make (max 1 capacity) dummy; n = 0 }
+
+  let push t ts ev =
+    t.data.(t.n mod t.cap) <- (ts, ev);
+    t.n <- t.n + 1
+
+  let seen t = t.n
+
+  (* oldest-first; at most [cap] entries survive wraparound *)
+  let contents t =
+    let k = min t.n t.cap in
+    List.init k (fun i -> t.data.((t.n - k + i) mod t.cap))
+
+  let events t = List.map snd (contents t)
+
+  let clear t = t.n <- 0
+
+  let sink t =
+    {
+      sink_name = "ring";
+      sink_emit = (fun ~ts ev -> push t ts ev);
+      sink_flush = ignore;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON sink (load in chrome://tracing or Perfetto)  *)
+
+module Chrome = struct
+  type t = { buf : Buffer.t; mutable count : int; t0 : float }
+
+  let create () = { buf = Buffer.create 4096; count = 0; t0 = now () }
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* one trace_event record; [args] are pre-rendered "key":value pairs *)
+  let record t ~ph ~name ~cat ~ts_us (args : string list) =
+    if t.count > 0 then Buffer.add_string t.buf ",\n";
+    t.count <- t.count + 1;
+    Buffer.add_string t.buf
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f"
+         (escape name) (escape cat) ph ts_us);
+    (match ph with
+    | "i" -> Buffer.add_string t.buf ",\"s\":\"t\""
+    | _ -> ());
+    (match args with
+    | [] -> ()
+    | l ->
+      Buffer.add_string t.buf ",\"args\":{";
+      Buffer.add_string t.buf (String.concat "," l);
+      Buffer.add_string t.buf "}");
+    Buffer.add_string t.buf "}"
+
+  let str k v = Printf.sprintf "\"%s\":\"%s\"" k (escape v)
+  let int_ k v = Printf.sprintf "\"%s\":%d" k v
+  let float_ k v = Printf.sprintf "\"%s\":%.3f" k v
+
+  let on_event t ~ts ev =
+    let ts_us = (ts -. t.t0) *. 1e6 in
+    let ev_tag = str "ev" (kind_name ev) in
+    match ev with
+    | Compile_start e ->
+      record t ~ph:"B" ~name:("compile " ^ e.meth) ~cat:"jit" ~ts_us
+        [ ev_tag; int_ "tier" e.tier; int_ "mid" e.mid ]
+    | Compile_end c ->
+      record t ~ph:"E" ~name:("compile " ^ c.ci_meth) ~cat:"jit" ~ts_us
+        ([ ev_tag; int_ "tier" c.ci_tier; str "backend" c.ci_backend;
+           int_ "nodes_in" c.ci_nodes_in; int_ "nodes_out" c.ci_nodes_out;
+           float_ "ms" c.ci_ms ]
+        @ match c.ci_fallback with Some r -> [ str "fallback" r ] | None -> [])
+    | Deopt e ->
+      record t ~ph:"i" ~name:("deopt " ^ e.tag) ~cat:"jit" ~ts_us
+        [ ev_tag; str "meth" e.meth; int_ "pc" e.pc;
+          str "kind" (deopt_kind_name e.kind) ]
+    | Tier_promote e ->
+      record t ~ph:"i" ~name:("promote " ^ e.meth) ~cat:"jit" ~ts_us
+        [ ev_tag; int_ "calls" e.calls; int_ "backedges" e.backedges ]
+    | Cache_install e ->
+      record t ~ph:"i" ~name:("install " ^ e.meth) ~cat:"cache" ~ts_us
+        [ ev_tag; int_ "gen" e.gen ]
+    | Cache_evict e ->
+      record t ~ph:"i" ~name:("evict " ^ e.meth) ~cat:"cache" ~ts_us [ ev_tag ]
+    | Cache_invalidate e ->
+      record t ~ph:"i" ~name:("invalidate " ^ e.meth) ~cat:"cache" ~ts_us
+        [ ev_tag; int_ "gen" e.gen ]
+    | Macro_expand e ->
+      record t ~ph:"i" ~name:("macro " ^ e.name) ~cat:"jit" ~ts_us
+        [ ev_tag; str "in" e.in_meth ]
+    | Interp_call e ->
+      record t ~ph:"i" ~name:("interp " ^ e.meth) ~cat:"interp" ~ts_us
+        [ ev_tag; int_ "calls" e.calls; int_ "backedges" e.backedges ]
+    | Exec_sample e ->
+      record t ~ph:"i" ~name:("exec " ^ e.meth) ~cat:"exec" ~ts_us
+        [ ev_tag; int_ "calls" e.calls; float_ "ms" e.ms ]
+    | Span_begin e -> record t ~ph:"B" ~name:e.name ~cat:e.cat ~ts_us [ ev_tag ]
+    | Span_end e ->
+      record t ~ph:"E" ~name:e.name ~cat:e.cat ~ts_us
+        [ ev_tag; float_ "ms" e.ms ]
+
+  let event_count t = t.count
+
+  let dump t =
+    Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n"
+      (Buffer.contents t.buf)
+
+  let write t path =
+    let oc = open_out path in
+    output_string oc (dump t);
+    close_out oc
+
+  let sink t =
+    {
+      sink_name = "chrome";
+      sink_emit = (fun ~ts ev -> on_event t ~ts ev);
+      sink_flush = ignore;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-method profile aggregation                                      *)
+
+module Profile = struct
+  type entry = {
+    pe_mid : int;
+    mutable pe_meth : string;
+    mutable pe_calls : int; (* latest sampled interpreter invocation count *)
+    mutable pe_backedges : int;
+    mutable pe_promotes : int;
+    mutable pe_compiles : int;
+    mutable pe_deopts : int;
+    mutable pe_installs : int;
+    mutable pe_evicts : int;
+    mutable pe_invalidates : int;
+    mutable pe_compile_ms : float;
+    mutable pe_exec_calls : int; (* compiled entry-point invocations *)
+    mutable pe_exec_ms : float; (* cumulative compiled execution time *)
+  }
+
+  type t = { tbl : (int, entry) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+
+  let entry t mid meth =
+    match Hashtbl.find_opt t.tbl mid with
+    | Some e ->
+      if e.pe_meth = "" then e.pe_meth <- meth;
+      e
+    | None ->
+      let e =
+        {
+          pe_mid = mid;
+          pe_meth = meth;
+          pe_calls = 0;
+          pe_backedges = 0;
+          pe_promotes = 0;
+          pe_compiles = 0;
+          pe_deopts = 0;
+          pe_installs = 0;
+          pe_evicts = 0;
+          pe_invalidates = 0;
+          pe_compile_ms = 0.0;
+          pe_exec_calls = 0;
+          pe_exec_ms = 0.0;
+        }
+      in
+      Hashtbl.replace t.tbl mid e;
+      e
+
+  let on_event t ev =
+    match ev with
+    | Interp_call e ->
+      let p = entry t e.mid e.meth in
+      p.pe_calls <- max p.pe_calls e.calls;
+      p.pe_backedges <- max p.pe_backedges e.backedges
+    | Tier_promote e ->
+      let p = entry t e.mid e.meth in
+      p.pe_promotes <- p.pe_promotes + 1;
+      p.pe_calls <- max p.pe_calls e.calls;
+      p.pe_backedges <- max p.pe_backedges e.backedges
+    | Compile_end c ->
+      let p = entry t c.ci_mid c.ci_meth in
+      p.pe_compiles <- p.pe_compiles + 1;
+      p.pe_compile_ms <- p.pe_compile_ms +. c.ci_ms
+    | Deopt e -> (entry t e.mid e.meth).pe_deopts <- (entry t e.mid e.meth).pe_deopts + 1
+    | Cache_install e ->
+      (entry t e.mid e.meth).pe_installs <- (entry t e.mid e.meth).pe_installs + 1
+    | Cache_evict e ->
+      (entry t e.mid e.meth).pe_evicts <- (entry t e.mid e.meth).pe_evicts + 1
+    | Cache_invalidate e ->
+      (entry t e.mid e.meth).pe_invalidates <-
+        (entry t e.mid e.meth).pe_invalidates + 1
+    | Exec_sample e ->
+      let p = entry t e.mid e.meth in
+      p.pe_exec_calls <- p.pe_exec_calls + e.calls;
+      p.pe_exec_ms <- p.pe_exec_ms +. e.ms
+    | Compile_start _ | Macro_expand _ | Span_begin _ | Span_end _ -> ()
+
+  let find t mid = Hashtbl.find_opt t.tbl mid
+
+  let entries t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+    |> List.sort (fun a b ->
+           match compare b.pe_exec_ms a.pe_exec_ms with
+           | 0 -> (
+             match compare b.pe_compiles a.pe_compiles with
+             | 0 -> compare b.pe_calls a.pe_calls
+             | c -> c)
+           | c -> c)
+
+  (* Sorted per-method table (hottest compiled-execution time first). *)
+  let table t =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-32s %8s %9s %5s %5s %5s %5s %5s %9s %9s %9s\n" "method"
+         "calls" "backedges" "promo" "comp" "deopt" "inst" "evict" "c-ms"
+         "x-calls" "x-ms");
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf "%-32s %8d %9d %5d %5d %5d %5d %5d %9.2f %9d %9.2f\n"
+             e.pe_meth e.pe_calls e.pe_backedges e.pe_promotes e.pe_compiles
+             e.pe_deopts e.pe_installs e.pe_evicts e.pe_compile_ms
+             e.pe_exec_calls e.pe_exec_ms))
+      (entries t);
+    Buffer.contents b
+
+  let sink t =
+    {
+      sink_name = "profile";
+      sink_emit = (fun ~ts:_ ev -> on_event t ev);
+      sink_flush = ignore;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON well-formedness checker (for the trace smoke tests:    *)
+(* no external JSON dependency is available in the container)          *)
+
+module Json = struct
+  exception Bad of string
+
+  let validate (s : string) : (unit, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+      | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+    in
+    let literal w =
+      String.iter
+        (fun c ->
+          match peek () with
+          | Some c' when c' = c -> advance ()
+          | _ -> fail ("bad literal " ^ w))
+        w
+    in
+    let parse_string () =
+      expect '"';
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance ();
+            go ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail "bad \\u escape"
+            done;
+            go ()
+          | _ -> fail "bad escape")
+        | Some c when Char.code c < 0x20 -> fail "control char in string"
+        | Some _ ->
+          advance ();
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      (match peek () with Some '-' -> advance () | _ -> ());
+      let digits () =
+        let seen = ref false in
+        let rec go () =
+          match peek () with
+          | Some '0' .. '9' ->
+            seen := true;
+            advance ();
+            go ()
+          | _ -> ()
+        in
+        go ();
+        if not !seen then fail "bad number"
+      in
+      digits ();
+      (match peek () with
+      | Some '.' ->
+        advance ();
+        digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        (match peek () with
+        | Some '}' -> advance ()
+        | _ ->
+          let rec members () =
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        (match peek () with
+        | Some ']' -> advance ()
+        | _ ->
+          let rec items () =
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          items ())
+      | Some '"' -> parse_string ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+      | None -> fail "unexpected end of input"
+    in
+    match
+      parse_value ();
+      skip_ws ();
+      if !pos <> n then fail "trailing data"
+    with
+    | () -> Ok ()
+    | exception Bad msg -> Error msg
+end

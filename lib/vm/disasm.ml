@@ -54,7 +54,9 @@ let pp_instr ppf = function
   | Retv -> Format.fprintf ppf "vreturn"
   | Trap s -> Format.fprintf ppf "trap %S" s
 
-let pp_method ppf m =
+(* Print a whole method with pc labels.  [mark] draws an arrow at one pc —
+   used to render the side-exit site of a [Deopt] event. *)
+let pp_method ?mark ppf m =
   Format.fprintf ppf "@[<v2>%s %s.%s/%d (locals=%d, maxstack=%d):"
     (if m.mstatic then "static" else "virtual")
     m.mowner.cname m.mname m.mnargs m.mnlocals m.mmaxstack;
@@ -62,7 +64,9 @@ let pp_method ppf m =
   | Native (name, _) -> Format.fprintf ppf "@,<native %s>" name
   | Bytecode code ->
     Array.iteri
-      (fun pc i -> Format.fprintf ppf "@,%4d: %a" pc pp_instr i)
+      (fun pc i ->
+        let arrow = if mark = Some pc then "=> " else "   " in
+        Format.fprintf ppf "@,%s%4d: %a" arrow pc pp_instr i)
       code);
   Format.fprintf ppf "@]"
 
@@ -76,8 +80,10 @@ let pp_class ppf c =
           (if f.ffinal then "final " else "")
           f.fname f.fidx)
     c.cfields;
-  List.iter (fun m -> Format.fprintf ppf "@,%a" pp_method m) (List.rev c.cmethods);
+  List.iter
+    (fun m -> Format.fprintf ppf "@,%a" (pp_method ?mark:None) m)
+    (List.rev c.cmethods);
   Format.fprintf ppf "@]@,}"
 
-let method_to_string m = Format.asprintf "%a" pp_method m
+let method_to_string ?mark m = Format.asprintf "%a" (pp_method ?mark) m
 let class_to_string c = Format.asprintf "%a" pp_class c

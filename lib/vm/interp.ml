@@ -117,6 +117,15 @@ let resume rt frame =
     | Native (_, fn) -> push f (fn rt (pop_args f nargs))
     | Bytecode _ -> (
       meth.mcalls <- meth.mcalls + 1;
+      if !Obs.enabled && meth.mcalls land 63 = 1 then
+        Obs.emit
+          (Obs.Interp_call
+             {
+               meth = Runtime.meth_label meth;
+               mid = meth.mid;
+               calls = meth.mcalls;
+               backedges = meth.mbackedges;
+             });
       match Runtime.tiered_fn rt meth with
       | Some cfn -> push f (cfn (pop_args f nargs))
       | None -> current := Some (frame_of_call meth f nargs))
@@ -231,6 +240,15 @@ let call rt meth (args : value array) =
   | Native (_, fn) -> fn rt args
   | Bytecode _ -> (
     meth.mcalls <- meth.mcalls + 1;
+    if !Obs.enabled && meth.mcalls land 63 = 1 then
+      Obs.emit
+        (Obs.Interp_call
+           {
+             meth = Runtime.meth_label meth;
+             mid = meth.mid;
+             calls = meth.mcalls;
+             backedges = meth.mbackedges;
+           });
     match Runtime.tiered_fn rt meth with
     | Some cfn -> cfn args
     | None -> resume rt (make_frame meth args))

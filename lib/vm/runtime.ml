@@ -96,6 +96,9 @@ let compiled_body rt id =
 (* ------------------------------------------------------------------ *)
 (* Tiered execution: the runtime code cache                            *)
 
+(* The label used for a method in observability events and profile tables. *)
+let meth_label (m : meth) = m.mowner.cname ^ "." ^ m.mname
+
 let tier_gen rt mid =
   match Hashtbl.find_opt rt.tiering.t_gen mid with Some g -> g | None -> 0
 
@@ -114,7 +117,10 @@ let rec tier_evict rt =
       (match e.ce_meth.mtier with
       | Tier_compiled _ -> e.ce_meth.mtier <- Tier_cold
       | _ -> ());
-      t.t_evictions <- t.t_evictions + 1)
+      t.t_evictions <- t.t_evictions + 1;
+      if !Obs.enabled then
+        Obs.emit
+          (Obs.Cache_evict { meth = meth_label e.ce_meth; mid = e.ce_meth.mid }))
 
 let tier_install rt (m : meth) fn =
   let t = rt.tiering in
@@ -125,7 +131,10 @@ let tier_install rt (m : meth) fn =
   then tier_evict rt;
   Hashtbl.replace t.t_cache m.mid entry;
   Queue.add m.mid t.t_order;
-  m.mtier <- Tier_compiled fn
+  m.mtier <- Tier_compiled fn;
+  if !Obs.enabled then
+    Obs.emit
+      (Obs.Cache_install { meth = meth_label m; mid = m.mid; gen = entry.ce_gen })
 
 (* Drop the installed code for [m] and bump its generation stamp, so that
    stale entries can never be re-activated (the [Lancet.stable] recompile
@@ -134,7 +143,11 @@ let tier_invalidate rt (m : meth) =
   let t = rt.tiering in
   Hashtbl.replace t.t_gen m.mid (tier_gen rt m.mid + 1);
   Hashtbl.remove t.t_cache m.mid;
-  match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ()
+  (match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ());
+  if !Obs.enabled then
+    Obs.emit
+      (Obs.Cache_invalidate
+         { meth = meth_label m; mid = m.mid; gen = tier_gen rt m.mid })
 
 (* Promote a hot method through the installed [jit_hook]; a hook failure
    (or absence of a result) blacklists the method so we never retry. *)
@@ -143,9 +156,20 @@ let tier_promote rt (m : meth) : (value array -> value) option =
   | None -> None
   | Some hook -> (
     m.mtier <- Tier_compiling;
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Tier_promote
+           {
+             meth = meth_label m;
+             mid = m.mid;
+             calls = m.mcalls;
+             backedges = m.mbackedges;
+           });
+    (* [t_compiles] is counted at the single place a graph is actually
+       built — [Tiering.compile_method_dyn] — so initial compiles and
+       on-exit recompiles use the same accounting path. *)
     match hook rt m with
     | Some fn ->
-      rt.tiering.t_compiles <- rt.tiering.t_compiles + 1;
       tier_install rt m fn;
       Some fn
     | None ->

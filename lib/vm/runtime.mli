@@ -46,6 +46,9 @@ val compiled_body : runtime -> int -> value array -> value
     installation evicts FIFO beyond [tier_cache_size].  Statistics live on
     [rt.tiering]. *)
 
+val meth_label : meth -> string
+(** ["Cls.name"], the label used in observability events and profiles. *)
+
 val tier_gen : runtime -> int -> int
 (** Current generation stamp of a method id (0 until first invalidation). *)
 

@@ -6,6 +6,7 @@ let () =
       ("mini", Test_mini.suite);
       ("lancet", Test_lancet.suite);
       ("tiering", Test_tiering.suite);
+      ("obs", Test_obs.suite);
       ("csv", Test_csv.suite);
       ("optiml", Test_optiml.suite);
       ("safeint", Test_safeint.suite);
