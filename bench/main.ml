@@ -5,7 +5,8 @@
    see EXPERIMENTS.md for the paper-vs-measured discussion.
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
-                          table2-namescore|ablate|micro|tiered|obs|check|all]
+                          table2-namescore|ablate|micro|tiered|obs|profile|
+                          check|all]
 
    [tiered] compares the pure interpreter against the tiered execution
    engine (hotness-driven method JIT) and writes BENCH_tiered.json (with
@@ -648,6 +649,110 @@ let obs_bench () =
   close_out oc;
   pr "\nwrote BENCH_obs.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Sampling profiler: disabled-checkpoint overhead and run overhead     *)
+
+(* Cost of the interpreter's per-step profiler checkpoint
+   (`if !Obs.sampling && Obs.sample_due () then ...`) with sampling off,
+   measured against the same loop without the checkpoint.  This is the
+   price every bytecode step pays when nobody is profiling, so it is held
+   to the same budget as the no-sink emit site (PR-2 bound). *)
+let profile_overhead ~iters =
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline =
+    time (fun () ->
+        for i = 1 to iters do
+          body i
+        done)
+  in
+  let disabled =
+    time (fun () ->
+        for i = 1 to iters do
+          body i;
+          if !Obs.sampling && Obs.sample_due () then body (-i)
+        done)
+  in
+  ignore !acc;
+  (disabled -. baseline) /. float_of_int iters *. 1e9
+
+let profile_guard ~iters =
+  let ns = profile_overhead ~iters in
+  if ns > 15.0 then
+    failwith
+      (Printf.sprintf
+         "profiler: disabled checkpoint costs %.1fns (> 15ns budget)" ns)
+
+(* The tiered kmeans workload with and without the sampling profiler
+   attached: end-to-end overhead of profiling a real run. *)
+let profile_kmeans ~interval_ms =
+  let run prof =
+    let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:16 () in
+    let p = Mini.Front.load rt tiered_kmeans_src in
+    let d = 4 and k = 3 in
+    let rows = 200 in
+    let ps =
+      Array.init (rows * d) (fun i -> float_of_int ((i * 37 mod 101) - 50) /. 7.)
+    in
+    let cs =
+      Array.init (k * d) (fun i -> float_of_int ((i * 53 mod 23) - 11) /. 3.)
+    in
+    let driver () =
+      let acc = ref 0 in
+      for _ = 1 to 150 do
+        acc :=
+          !acc
+          + Vm.Value.to_int
+              (Mini.Front.call p "assign_all"
+                 [| Farr ps; Farr cs; Int rows; Int d; Int k |])
+      done;
+      !acc
+    in
+    let t0 = Unix.gettimeofday () in
+    let v =
+      match prof with
+      | Some pr -> Profiler.profiled pr driver
+      | None -> driver ()
+    in
+    (v, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let v_off, ms_off = run None in
+  let prof = Profiler.create ~interval_ms () in
+  let v_on, ms_on = run (Some prof) in
+  if v_off <> v_on then failwith "profile bench: result mismatch";
+  (ms_off, ms_on, prof)
+
+let profile_bench () =
+  header "Sampling profiler: checkpoint overhead and run overhead";
+  let iters = 20_000_000 in
+  let ns = profile_overhead ~iters in
+  pr "\n%-36s %10.2f ns/step\n" "disabled checkpoint (sampling off)" ns;
+  profile_guard ~iters:2_000_000;
+  let interval_ms = 1.0 in
+  let ms_off, ms_on, prof = profile_kmeans ~interval_ms in
+  pr "%-36s %10.1f ms\n" "tiered kmeans, profiler off" ms_off;
+  pr "%-36s %10.1f ms  (%.1f%% overhead)\n" "tiered kmeans, profiler on" ms_on
+    (100. *. ((ms_on /. Float.max ms_off 1e-9) -. 1.));
+  pr "%-36s %10d samples, coverage %.0f%%\n" "profile"
+    prof.Profiler.samples
+    (100. *. Profiler.coverage prof);
+  let oc = open_out "BENCH_profile.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"iters\": %d,\n  \"disabled_checkpoint_ns_per_step\": %.3f,\n  \
+        \"budget_ns\": 15.0,\n  \"kmeans_ms_profiler_off\": %.3f,\n  \
+        \"kmeans_ms_profiler_on\": %.3f,\n  \"interval_ms\": %.3f,\n  \
+        \"samples\": %d,\n  \"coverage\": %.3f\n}\n"
+       iters ns ms_off ms_on interval_ms prof.Profiler.samples
+       (Profiler.coverage prof));
+  close_out oc;
+  pr "\nwrote BENCH_profile.json\n"
+
 (* Trace smoke test for the runtest gate: a small tiered kmeans run with a
    Chrome sink attached must produce well-formed JSON containing at least
    one compile-end event. *)
@@ -703,6 +808,7 @@ let tier_check () =
     rows;
   trace_smoke ();
   obs_guard ~iters:2_000_000;
+  profile_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
 
 (* ------------------------------------------------------------------ *)
@@ -721,6 +827,7 @@ let () =
   | "micro" -> micro ()
   | "tiered" -> tiered ()
   | "obs" -> obs_bench ()
+  | "profile" -> profile_bench ()
   | "check" -> tier_check ()
   | "all" ->
     table1 ();
@@ -730,7 +837,8 @@ let () =
     ablate ();
     micro ();
     tiered ();
-    obs_bench ()
+    obs_bench ();
+    profile_bench ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);
     exit 1

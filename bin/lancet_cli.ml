@@ -20,7 +20,7 @@ let parse_arg (s : string) : Vm.Types.value =
 
 let load path =
   let rt = Lancet.Api.boot () in
-  let p = Mini.Front.load rt (read_file path) in
+  let p = Mini.Front.load ~file:path rt (read_file path) in
   (rt, p)
 
 (* ---- observability sinks shared by run/trace ---- *)
@@ -53,26 +53,17 @@ let deopt_collector acc =
     sink_flush = ignore;
   }
 
-let find_method_by_id rt mid : Vm.Types.meth option =
-  let found = ref None in
-  Hashtbl.iter
-    (fun _ (cls : Vm.Types.cls) ->
-      List.iter
-        (fun (m : Vm.Types.meth) -> if m.Vm.Types.mid = mid then found := Some m)
-        cls.Vm.Types.cmethods)
-    rt.Vm.Types.classes;
-  !found
-
 let print_deopt_sites rt (deopts : (string * int * string * int) list) =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (meth, mid, tag, pc) ->
       if not (Hashtbl.mem seen (mid, pc)) then begin
         Hashtbl.replace seen (mid, pc) ();
-        Format.printf "@.deopt site: %s at pc %d (%s)@." meth pc tag;
-        match find_method_by_id rt mid with
-        | Some m -> Format.printf "%s@." (Vm.Disasm.method_to_string ~mark:pc m)
-        | None -> ()
+        match Vm.Runtime.find_method_by_id rt mid with
+        | Some m ->
+          Format.printf "@.deopt site: %s (%s)@." (Vm.Runtime.meth_loc m pc) tag;
+          Format.printf "%s@." (Vm.Disasm.method_to_string ~mark:pc m)
+        | None -> Format.printf "@.deopt site: %s at pc %d (%s)@." meth pc tag
       end)
     (List.rev deopts)
 
@@ -82,10 +73,12 @@ let run_cmd tiered threshold trace print_compilation stats file fn args =
   let rt = Lancet.Api.boot ~tiering:tiered ~tier_threshold:threshold () in
   let chrome =
     Option.map
-      (fun _ ->
+      (fun path ->
         let c = Obs.Chrome.create () in
         Obs.attach (Obs.Chrome.sink c);
-        c)
+        (* at_exit registration keeps the JSON well-formed even when the
+           program traps out of the run *)
+        (c, path, Obs.Chrome.write_at_exit c path))
       trace
   in
   if print_compilation then Obs.attach (compilation_sink ());
@@ -97,15 +90,15 @@ let run_cmd tiered threshold trace print_compilation stats file fn args =
     end
     else None
   in
-  let p = Mini.Front.load rt (read_file file) in
+  let p = Mini.Front.load ~file rt (read_file file) in
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
   Obs.flush ();
   Format.printf "%a@." Vm.Value.pp v;
-  (match (trace, chrome) with
-  | Some path, Some c ->
-    Obs.Chrome.write c path;
+  (match chrome with
+  | Some (c, path, write_now) ->
+    write_now ();
     Format.eprintf "[obs] %d events -> %s@." (Obs.Chrome.event_count c) path
-  | _ -> ());
+  | None -> ());
   (match profile with
   | Some p -> Format.eprintf "@[<v>per-method profile:@,%s@]@." (Obs.Profile.table p)
   | None -> ());
@@ -123,25 +116,80 @@ let trace_cmd threshold repeat out file fn args =
   Obs.attach (Obs.Chrome.sink chrome);
   Obs.attach (Obs.Profile.sink profile);
   Obs.attach (deopt_collector deopts);
-  let p = Mini.Front.load rt (read_file file) in
+  let out =
+    match out with
+    | Some o -> o
+    | None -> Filename.remove_extension (Filename.basename file) ^ ".trace.json"
+  in
+  (* register before running so a trapping program still leaves a
+     well-formed trace behind *)
+  let write_now = Obs.Chrome.write_at_exit chrome out in
+  let p = Mini.Front.load ~file rt (read_file file) in
   let argv = Array.of_list (List.map parse_arg args) in
   let v = ref Vm.Types.Null in
   for _ = 1 to max 1 repeat do
     v := Mini.Front.call p fn argv
   done;
   Obs.flush ();
-  let out =
-    match out with
-    | Some o -> o
-    | None -> Filename.remove_extension (Filename.basename file) ^ ".trace.json"
-  in
-  Obs.Chrome.write chrome out;
+  write_now ();
   Format.printf "result: %a@." Vm.Value.pp !v;
   Format.printf "trace:  %s (%d events; open in chrome://tracing or ui.perfetto.dev)@."
     out (Obs.Chrome.event_count chrome);
   Format.printf "@.per-method profile:@.%s" (Obs.Profile.table profile);
   print_deopt_sites rt !deopts;
   Format.printf "@.[tier] %s@." (Vm.Runtime.tier_stats_string rt);
+  0
+
+(* ---- profile: sampling profiler + folded stacks for flamegraphs ---- *)
+
+let profile_cmd threshold repeat interval out file fn args =
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
+  let prof = Profiler.create ~interval_ms:interval () in
+  let p = Mini.Front.load ~file rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  Profiler.profiled prof (fun () ->
+      for _ = 1 to max 1 repeat do
+        v := Mini.Front.call p fn argv
+      done);
+  Obs.flush ();
+  let out =
+    match out with
+    | Some o -> o
+    | None -> Filename.remove_extension (Filename.basename file) ^ ".folded"
+  in
+  Profiler.write_folded prof out;
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Profiler.report prof);
+  Format.printf
+    "folded stacks: %s (feed to flamegraph.pl, inferno or speedscope)@." out;
+  0
+
+(* ---- explain: source annotated with tier/compile/deopt decisions ---- *)
+
+let explain_cmd threshold repeat interval no_residency file fn args =
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
+  let x = Lancet.Explain.create () in
+  Obs.attach (Lancet.Explain.sink x);
+  let deopts = ref [] in
+  Obs.attach (deopt_collector deopts);
+  let src = read_file file in
+  let p = Mini.Front.load ~file rt src in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  let run () =
+    for _ = 1 to max 1 repeat do
+      v := Mini.Front.call p fn argv
+    done
+  in
+  let prof =
+    if no_residency then None else Some (Profiler.create ~interval_ms:interval ())
+  in
+  (match prof with Some pr -> Profiler.profiled pr run | None -> run ());
+  Obs.flush ();
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Lancet.Explain.render ?profiler:prof x rt ~src);
+  print_deopt_sites rt !deopts;
   0
 
 (* ---- disasm ---- *)
@@ -263,6 +311,47 @@ let trace_t =
       const trace_cmd $ tier_threshold $ trace_repeat $ trace_out $ file
       $ trace_fn $ rest)
 
+let sample_interval =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"MS"
+        ~doc:"Sampling interval of the call-stack profiler, in milliseconds")
+
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Folded-stack output path (default: <prog>.folded)")
+
+let profile_t =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a Mini function under the tiered JIT with the sampling \
+          profiler: per-source-line residency table plus a folded-stack \
+          file for flamegraph tools")
+    Term.(
+      const profile_cmd $ tier_threshold $ trace_repeat $ sample_interval
+      $ profile_out $ file $ trace_fn $ rest)
+
+let no_residency_flag =
+  Arg.(
+    value & flag
+    & info [ "no-residency" ]
+        ~doc:"Skip the sampling profiler (annotate JIT decisions only)")
+
+let explain_t =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a Mini function under the tiered JIT and print the source \
+          annotated per line with tier promotions, compilations, deopt \
+          sites and profile residency")
+    Term.(
+      const explain_cmd $ tier_threshold $ trace_repeat $ sample_interval
+      $ no_residency_flag $ file $ trace_fn $ rest)
+
 let disasm_names =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")
 
@@ -298,4 +387,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "lancet" ~doc)
-          [ run_t; trace_t; disasm_t; verify_t; compile_t; js_t ]))
+          [ run_t; trace_t; profile_t; explain_t; disasm_t; verify_t;
+            compile_t; js_t ]))

@@ -287,7 +287,9 @@ let restore ctx (s : snap) =
 let push ctx r =
   let f = ctx.frame in
   if f.sf_sp >= Array.length f.sf_stack then
-    Errors.compile_error "symbolic stack overflow in %s" f.sf_meth.mname;
+    Errors.compile_error_at
+      ~loc:(Vm.Runtime.meth_loc f.sf_meth f.sf_pc)
+      "symbolic stack overflow in %s" f.sf_meth.mname;
   f.sf_stack.(f.sf_sp) <- r;
   f.sf_sp <- f.sf_sp + 1
 
@@ -964,8 +966,9 @@ and run_loop ctx ~stop ~cfg h : [ `Arrived | `Dead ] =
   in
   let rec attempt round =
     if round > ctx.opts.max_fixpoint_rounds then
-      Errors.compile_error "loop analysis did not converge in %s"
-        f.sf_meth.mname;
+      Errors.compile_error_at
+        ~loc:(Vm.Runtime.meth_loc f.sf_meth f.sf_pc)
+        "loop analysis did not converge in %s" f.sf_meth.mname;
     rollback ();
     restore ctx entry;
     let g = B.graph ctx.bld in
@@ -1015,8 +1018,9 @@ and run_loop ctx ~stop ~cfg h : [ `Arrived | `Dead ] =
     List.iter
       (fun (bs : snap) ->
         if bs.s_sp <> entry.s_sp then
-          Errors.compile_error "operand stack depth changes across loop in %s"
-            f.sf_meth.mname;
+          Errors.compile_error_at
+            ~loc:(Vm.Runtime.meth_loc f.sf_meth f.sf_pc)
+            "operand stack depth changes across loop in %s" f.sf_meth.mname;
         for i = 0 to nslots - 1 do
           let br =
             if i < nloc then bs.s_locals.(i) else bs.s_stack.(i - nloc)
@@ -1063,6 +1067,14 @@ and run_loop ctx ~stop ~cfg h : [ `Arrived | `Dead ] =
 and exec_instr ctx ~stop ~cfg ~pc (i : instr) :
     [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
   let f = ctx.frame in
+  (* provenance: nodes staged for this instruction point back to it *)
+  B.set_prov ctx.bld
+    (Some
+       {
+         Ir.pv_mid = f.sf_meth.mid;
+         pv_pc = pc;
+         pv_line = Vm.Runtime.line_at f.sf_meth pc;
+       });
   match i with
   | Const v ->
     push ctx (lift_const ctx v);

@@ -8,6 +8,11 @@ exception Compile_error of string
 let compile_error fmt =
   Format.kasprintf (fun s -> raise (Compile_error s)) fmt
 
+(* Like [compile_error], but suffixed with a source location ("Cls.meth @pc
+   N (file:line)" as produced by [Vm.Runtime.meth_loc]). *)
+let compile_error_at ~loc fmt =
+  Format.kasprintf (fun s -> raise (Compile_error (s ^ " at " ^ loc))) fmt
+
 type warning = { w_tag : string; w_msg : string }
 
 let warnings : warning list ref = ref []

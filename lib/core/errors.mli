@@ -8,6 +8,10 @@ exception Compile_error of string
 val compile_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!Compile_error} with a formatted message. *)
 
+val compile_error_at : loc:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [compile_error_at ~loc fmt] raises {!Compile_error} with [" at loc"]
+    appended — [loc] is typically [Vm.Runtime.meth_loc m pc]. *)
+
 type warning = { w_tag : string; w_msg : string }
 
 val warn : string -> ('a, Format.formatter, unit, unit) format4 -> 'a

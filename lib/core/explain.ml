@@ -1,0 +1,182 @@
+(* `lancet explain`: annotate a Mini source listing with what the JIT did to
+   it — tier promotions, compilations (backend, node counts, time), deopt
+   sites and, when a profiler ran, per-line residency.  A collector sink
+   records events keyed by method id / (method id, pc); rendering resolves
+   ids back to source lines through the methods' line tables. *)
+
+type compile_rec = {
+  xc_backend : string;
+  xc_fallback : string option;
+  xc_nodes_in : int;
+  xc_nodes_out : int;
+  xc_ms : float;
+}
+
+type promote_rec = { xp_label : string; xp_calls : int; xp_backedges : int }
+
+type deopt_rec = {
+  xd_label : string;
+  xd_tag : string;
+  xd_kind : Obs.deopt_kind;
+  xd_line : int;
+  mutable xd_count : int;
+}
+
+type t = {
+  promotes : (int, promote_rec) Hashtbl.t; (* mid -> first promotion *)
+  compiles : (int, compile_rec list ref) Hashtbl.t; (* mid -> in order *)
+  deopts : (int * int, deopt_rec) Hashtbl.t; (* (mid, pc) -> site *)
+}
+
+let create () =
+  {
+    promotes = Hashtbl.create 16;
+    compiles = Hashtbl.create 16;
+    deopts = Hashtbl.create 16;
+  }
+
+let on_event t (ev : Obs.event) =
+  match ev with
+  | Obs.Tier_promote { mid; meth; calls; backedges } ->
+    if not (Hashtbl.mem t.promotes mid) then
+      Hashtbl.replace t.promotes mid
+        { xp_label = meth; xp_calls = calls; xp_backedges = backedges }
+  | Obs.Compile_end c ->
+    let l =
+      match Hashtbl.find_opt t.compiles c.Obs.ci_mid with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.compiles c.Obs.ci_mid l;
+        l
+    in
+    l :=
+      {
+        xc_backend = c.Obs.ci_backend;
+        xc_fallback = c.Obs.ci_fallback;
+        xc_nodes_in = c.Obs.ci_nodes_in;
+        xc_nodes_out = c.Obs.ci_nodes_out;
+        xc_ms = c.Obs.ci_ms;
+      }
+      :: !l
+  | Obs.Deopt { mid; meth; tag; kind; pc; line } -> (
+    match Hashtbl.find_opt t.deopts (mid, pc) with
+    | Some d -> d.xd_count <- d.xd_count + 1
+    | None ->
+      Hashtbl.replace t.deopts (mid, pc)
+        { xd_label = meth; xd_tag = tag; xd_kind = kind; xd_line = line;
+          xd_count = 1 })
+  | _ -> ()
+
+let sink t =
+  {
+    Obs.sink_name = "explain";
+    sink_emit = (fun ~ts:_ ev -> on_event t ev);
+    sink_flush = ignore;
+  }
+
+(* ---- rendering ---- *)
+
+let describe_compiles ?(timings = true) recs =
+  let recs = List.rev recs in
+  let one (r : compile_rec) =
+    Printf.sprintf "%s backend%s, %d->%d nodes%s" r.xc_backend
+      (match r.xc_fallback with
+      | Some why -> Printf.sprintf " (typed fell back: %s)" why
+      | None -> "")
+      r.xc_nodes_in r.xc_nodes_out
+      (if timings then Printf.sprintf ", %.2fms" r.xc_ms else "")
+  in
+  match recs with
+  | [] -> "compiled"
+  | [ r ] -> "compiled: " ^ one r
+  | r :: _ ->
+    Printf.sprintf "compiled x%d (last: %s)" (List.length recs) (one r)
+
+let kind_word = function
+  | Obs.Interpret -> "to interpreter"
+  | Obs.Recompile -> "recompile"
+
+(* Annotate [src] (the Mini program text) with everything [t] recorded.
+   Events whose method has no line table (or which point outside [src]) are
+   listed at the end rather than dropped. *)
+let render ?(timings = true) ?profiler t rt ~src =
+  let lines = String.split_on_char '\n' src in
+  let nlines = List.length lines in
+  let ann : (int, string list ref) Hashtbl.t = Hashtbl.create 32 in
+  let unplaced = ref [] in
+  let add_at line msg =
+    if line > 0 && line <= nlines then begin
+      let l =
+        match Hashtbl.find_opt ann line with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace ann line l;
+          l
+      in
+      l := msg :: !l
+    end
+    else unplaced := msg :: !unplaced
+  in
+  let def_line mid =
+    match Vm.Runtime.find_method_by_id rt mid with
+    | Some m -> Vm.Runtime.meth_def_line m
+    | None -> 0
+  in
+  Hashtbl.iter
+    (fun mid (p : promote_rec) ->
+      add_at (def_line mid)
+        (Printf.sprintf "%s: promoted to tier 1 (calls=%d backedges=%d)"
+           p.xp_label p.xp_calls p.xp_backedges))
+    t.promotes;
+  Hashtbl.iter
+    (fun mid recs ->
+      let label =
+        match Vm.Runtime.find_method_by_id rt mid with
+        | Some m -> Vm.Runtime.meth_label m
+        | None -> Printf.sprintf "mid %d" mid
+      in
+      add_at (def_line mid)
+        (Printf.sprintf "%s: %s" label (describe_compiles ~timings !recs)))
+    t.compiles;
+  (* deopt sites, stable order: by (mid, pc) *)
+  let deopt_sites =
+    Hashtbl.fold (fun k d acc -> (k, d) :: acc) t.deopts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun ((_, pc), (d : deopt_rec)) ->
+      add_at d.xd_line
+        (Printf.sprintf "%s: deopt x%d @pc %d (%s, %s)" d.xd_label d.xd_count
+           pc d.xd_tag (kind_word d.xd_kind)))
+    deopt_sites;
+  (match profiler with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (fun (line, (ls : Profiler.line_stat)) ->
+        if ls.Profiler.ls_samples > 0 || ls.Profiler.ls_exec_ms > 0.0 then
+          add_at line
+            (Printf.sprintf "residency: %d interp samples, %.2fms compiled"
+               ls.Profiler.ls_samples ls.Profiler.ls_exec_ms))
+      (Profiler.line_stats p));
+  let b = Buffer.create 4096 in
+  List.iteri
+    (fun i line ->
+      let n = i + 1 in
+      Buffer.add_string b (Printf.sprintf "%4d | %s\n" n line);
+      match Hashtbl.find_opt ann n with
+      | None -> ()
+      | Some msgs ->
+        List.iter
+          (fun m -> Buffer.add_string b (Printf.sprintf "     |   ^ %s\n" m))
+          (List.rev !msgs))
+    lines;
+  if !unplaced <> [] then begin
+    Buffer.add_string b "\nnot attributed to a source line:\n";
+    List.iter
+      (fun m -> Buffer.add_string b (Printf.sprintf "  - %s\n" m))
+      (List.rev !unplaced)
+  end;
+  Buffer.contents b

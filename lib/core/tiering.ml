@@ -38,6 +38,7 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
   let exec_total = ref 0 in
   let pend_calls = ref 0 in
   let pend_ms = ref 0.0 in
+  let def_line = Vm.Runtime.meth_def_line m in
   let entry args =
     if not !Obs.enabled then !cell args
     else begin
@@ -49,7 +50,13 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
       if !exec_total = 1 || !pend_calls >= 64 then begin
         Obs.emit
           (Obs.Exec_sample
-             { meth = label; mid = m.mid; calls = !pend_calls; ms = !pend_ms });
+             {
+               meth = label;
+               mid = m.mid;
+               calls = !pend_calls;
+               ms = !pend_ms;
+               line = def_line;
+             });
         pend_calls := 0;
         pend_ms := 0.0
       end;
@@ -103,6 +110,14 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
                          (match se.Lms.Ir.se_frames with
                          | fd :: _ -> fd.Lms.Ir.fd_pc
                          | [] -> -1);
+                       line =
+                         (* the innermost frame's own line table: with
+                            inlining the deopt site may sit in a callee *)
+                         (match se.Lms.Ir.se_frames with
+                         | fd :: _ ->
+                           Vm.Runtime.line_at fd.Lms.Ir.fd_meth
+                             fd.Lms.Ir.fd_pc
+                         | [] -> 0);
                      });
               (match se.Lms.Ir.se_kind with
               | `Recompile -> (

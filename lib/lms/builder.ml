@@ -10,6 +10,7 @@ type t = {
   mutable cur : block option;
   consts : (string, sym) Hashtbl.t;
   mutable cse : (string, sym) Hashtbl.t; (* scope: current block *)
+  mutable cur_prov : prov option; (* stamped onto emitted nodes *)
 }
 
 let create ?name ~nparams () =
@@ -21,6 +22,7 @@ let create ?name ~nparams () =
     cur = Some entry;
     consts = Hashtbl.create 32;
     cse = Hashtbl.create 32;
+    cur_prov = None;
   }
 
 let graph t = t.g
@@ -32,10 +34,16 @@ let current t =
 
 let in_dead_code t = t.cur = None
 
-(* Register a node that lives outside any block body (constants, params). *)
+(* Set the provenance stamped onto subsequently emitted nodes; the staging
+   interpreter calls this once per bytecode instruction. *)
+let set_prov t p = t.cur_prov <- p
+
+(* Register a node that lives outside any block body (constants, params).
+   Floating nodes are position-independent, so they carry no provenance. *)
 let floating t op ty =
   let s = fresh_sym t.g in
-  Hashtbl.replace t.g.nodes s { id = s; op; args = [||]; ty; eff = false };
+  Hashtbl.replace t.g.nodes s
+    { id = s; op; args = [||]; ty; eff = false; prov = None };
   s
 
 let const t (v : Vm.Types.value) =
@@ -68,13 +76,14 @@ let param t i ty =
 
 let emit t op args ty =
   let b = current t in
-  if op_effectful op then add_node t.g b ~op ~args ~ty
+  if op_effectful op then add_node ?prov:t.cur_prov t.g b ~op ~args ~ty
   else begin
     let key = op_key op args in
+    (* CSE: the first node (and its provenance) wins for later duplicates *)
     match Hashtbl.find_opt t.cse key with
     | Some s -> s
     | None ->
-      let s = add_node t.g b ~op ~args ~ty in
+      let s = add_node ?prov:t.cur_prov t.g b ~op ~args ~ty in
       Hashtbl.replace t.cse key s;
       s
   end

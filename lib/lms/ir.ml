@@ -41,7 +41,20 @@ type op =
   | CallClosure of int (* residual closure call: args.(0) is callee, n params *)
   | Ext of ext_op
 
-type node = { id : sym; op : op; args : sym array; ty : ty; eff : bool }
+(* Source provenance of a staged node: the bytecode instruction (and its
+   source line, via the method's line table) the node was staged from.
+   Carried through CSE (first node wins) and DCE (a filter), and consulted
+   by both backends for diagnostics. *)
+type prov = { pv_mid : int; pv_pc : int; pv_line : int }
+
+type node = {
+  id : sym;
+  op : op;
+  args : sym array;
+  ty : ty;
+  eff : bool;
+  prov : prov option;
+}
 
 type target = { tblock : int; targs : sym array }
 
@@ -122,7 +135,7 @@ let new_block g =
 
 let add_block_param g b ty =
   let s = fresh_sym g in
-  let n = { id = s; op = Bparam; args = [||]; ty; eff = false } in
+  let n = { id = s; op = Bparam; args = [||]; ty; eff = false; prov = None } in
   Hashtbl.replace g.nodes s n;
   b.params <- b.params @ [ (s, ty) ];
   s
@@ -140,18 +153,18 @@ let op_effectful = function
     true
   | Aload | Faload -> true (* may observe prior stores *)
 
-let add_node g b ~op ~args ~ty =
+let add_node ?prov g b ~op ~args ~ty =
   let s = fresh_sym g in
-  let n = { id = s; op; args; ty; eff = op_effectful op } in
+  let n = { id = s; op; args; ty; eff = op_effectful op; prov } in
   Hashtbl.replace g.nodes s n;
   b.body <- n :: b.body;
   s
 
 (* Register an externally-created node object (used when moving or cloning
    nodes between graphs). *)
-let intern g ~op ~args ~ty ~eff b =
+let intern ?prov g ~op ~args ~ty ~eff b =
   let s = fresh_sym g in
-  let n = { id = s; op; args; ty; eff } in
+  let n = { id = s; op; args; ty; eff; prov } in
   Hashtbl.replace g.nodes s n;
   b.body <- n :: b.body;
   s

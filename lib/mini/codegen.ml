@@ -23,6 +23,7 @@ type ctx = {
   main_cls : T.cls; (* holds top-level functions of this program *)
   globals : (string, int) Hashtbl.t;
   box_cls : T.cls;
+  src : string; (* source file name, stored on generated methods *)
 }
 
 (* scope of one method/function/lambda body under compilation *)
@@ -289,6 +290,9 @@ let cond_of_binop pos = function
 let rec emit_expr sc (e : texpr) : unit =
   let b = sc.b in
   let pos = e.tpos in
+  (* stamp the line table: instructions emitted for this expression (until a
+     subexpression re-stamps) are attributed to the expression's source line *)
+  if pos.line > 0 then A.set_line b pos.line;
   match e.tdesc with
   | Cint i -> A.emit b (T.Const (T.Int i))
   | Cfloat f -> A.emit b (T.Const (T.Float f))
@@ -596,8 +600,8 @@ and emit_lambda sc params body =
   (* compile the apply method *)
   let boxed_names = captured_mutables_of body in
   ignore
-    (A.define_method ctx.rt fcls ~name:"apply" ~nargs:(List.length params)
-       (fun ab ->
+    (A.define_method ~src:ctx.src ctx.rt fcls ~name:"apply"
+       ~nargs:(List.length params) (fun ab ->
          let inner_vars =
            List.mapi (fun i (x, _) -> (x, Slot (i + 1))) params
            @ List.map
@@ -685,7 +689,7 @@ let topo_classes (classes : tclass list) : tclass list =
 
 let main_counter = ref 0
 
-let compile_typed rt (tp : tprogram) : compiled_program =
+let compile_typed ?(file = "<mini>") rt (tp : tprogram) : compiled_program =
   incr main_counter;
   let main_cls =
     Vm.Classfile.declare_class rt
@@ -699,6 +703,7 @@ let compile_typed rt (tp : tprogram) : compiled_program =
       main_cls;
       globals = Hashtbl.create 16;
       box_cls = ensure_box_cls rt;
+      src = file;
     }
   in
   (* declare classes (fields only) in topological order *)
@@ -741,7 +746,7 @@ let compile_typed rt (tp : tprogram) : compiled_program =
         (fun (mname, params, _, body) ->
           let m = Vm.Classfile.own_method vcls mname in
           ignore
-            (A.fill_method rt m (fun b ->
+            (A.fill_method ~src:ctx.src rt m (fun b ->
                  let sc =
                    {
                      ctx;
@@ -761,7 +766,7 @@ let compile_typed rt (tp : tprogram) : compiled_program =
     (fun (fname, params, _, body) ->
       let m = Vm.Classfile.own_method main_cls fname in
       ignore
-        (A.fill_method rt m (fun b ->
+        (A.fill_method ~src:ctx.src rt m (fun b ->
              let sc =
                {
                  ctx;
@@ -778,7 +783,8 @@ let compile_typed rt (tp : tprogram) : compiled_program =
   (* synthesize and run the global initializer *)
   if tp.p_globals <> [] then begin
     let init =
-      A.define_method rt main_cls ~name:"$init" ~static:true ~nargs:0 (fun b ->
+      A.define_method ~src:ctx.src rt main_cls ~name:"$init" ~static:true
+        ~nargs:0 (fun b ->
           let sc =
             {
               ctx;

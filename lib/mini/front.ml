@@ -13,7 +13,7 @@ let () =
       Some (Format.asprintf "Type error at %a: %s" Ast.pp_pos pos msg)
     | _ -> None)
 
-let load rt (src : string) : program =
+let load ?file rt (src : string) : program =
   let parsed = Obs.span ~cat:"front" "front:parse" (fun () ->
       Parser.parse_program src)
   in
@@ -21,7 +21,7 @@ let load rt (src : string) : program =
       Typecheck.check_program parsed)
   in
   Obs.span ~cat:"front" "front:codegen" (fun () ->
-      Codegen.compile_typed rt typed)
+      Codegen.compile_typed ?file rt typed)
 
 (* Parse + typecheck only (for tests and tooling). *)
 let typecheck (src : string) : Typecheck.tprogram =

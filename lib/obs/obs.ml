@@ -34,15 +34,26 @@ type deopt_kind = Interpret | Recompile
 type event =
   | Compile_start of { meth : string; mid : int; tier : int }
   | Compile_end of compile_info
-  | Deopt of { meth : string; mid : int; kind : deopt_kind; tag : string; pc : int }
+  | Deopt of {
+      meth : string;
+      mid : int;
+      kind : deopt_kind;
+      tag : string;
+      pc : int;
+      line : int; (* source line of the side-exit site; 0 = unknown *)
+    }
   | Tier_promote of { meth : string; mid : int; calls : int; backedges : int }
   | Cache_install of { meth : string; mid : int; gen : int }
   | Cache_evict of { meth : string; mid : int }
   | Cache_invalidate of { meth : string; mid : int; gen : int }
   | Macro_expand of { name : string; in_meth : string }
   | Interp_call of { meth : string; mid : int; calls : int; backedges : int }
-  | Exec_sample of { meth : string; mid : int; calls : int; ms : float }
-      (* cumulative compiled-code execution since the previous sample *)
+  | Exec_sample of { meth : string; mid : int; calls : int; ms : float; line : int }
+      (* cumulative compiled-code execution since the previous sample;
+         [line] is the method's defining source line (0 = unknown) *)
+  | Stack_sample of { stack : (string * int) list }
+      (* one interpreter call-stack sample, innermost frame first:
+         (method label, source line at the sampled pc; 0 = unknown) *)
   | Span_begin of { name : string; cat : string }
   | Span_end of { name : string; cat : string; ms : float }
 
@@ -57,6 +68,7 @@ let kind_name = function
   | Macro_expand _ -> "macro-expand"
   | Interp_call _ -> "interp-call"
   | Exec_sample _ -> "exec-sample"
+  | Stack_sample _ -> "stack-sample"
   | Span_begin _ -> "span-begin"
   | Span_end _ -> "span-end"
 
@@ -74,8 +86,9 @@ let to_string ev =
       | None -> "")
       c.ci_nodes_in c.ci_nodes_out c.ci_ms
   | Deopt e ->
-    Printf.sprintf "%-16s %s @pc %d (%s, %s)" (kind_name ev) e.meth e.pc e.tag
-      (deopt_kind_name e.kind)
+    Printf.sprintf "%-16s %s @pc %d%s (%s, %s)" (kind_name ev) e.meth e.pc
+      (if e.line > 0 then Printf.sprintf " line %d" e.line else "")
+      e.tag (deopt_kind_name e.kind)
   | Tier_promote e ->
     Printf.sprintf "%-16s %s (calls=%d backedges=%d)" (kind_name ev) e.meth
       e.calls e.backedges
@@ -91,6 +104,12 @@ let to_string ev =
       e.calls e.backedges
   | Exec_sample e ->
     Printf.sprintf "%-16s %s calls=%d %.3fms" (kind_name ev) e.meth e.calls e.ms
+  | Stack_sample e ->
+    Printf.sprintf "%-16s %s" (kind_name ev)
+      (String.concat ";"
+         (List.map
+            (fun (m, l) -> if l > 0 then Printf.sprintf "%s:%d" m l else m)
+            e.stack))
   | Span_begin e -> Printf.sprintf "%-16s %s [%s]" (kind_name ev) e.name e.cat
   | Span_end e ->
     Printf.sprintf "%-16s %s [%s] %.3fms" (kind_name ev) e.name e.cat e.ms
@@ -100,7 +119,7 @@ let to_string ev =
 
 type sink = {
   sink_name : string;
-  sink_emit : ts:float -> event -> unit; (* ts: seconds (Unix epoch) *)
+  sink_emit : ts:float -> event -> unit; (* ts: seconds, monotonic *)
   sink_flush : unit -> unit;
 }
 
@@ -110,7 +129,16 @@ let enabled = ref false
 
 let sinks : sink list ref = ref []
 
-let now = Unix.gettimeofday
+(* Monotonic time in seconds (CLOCK_MONOTONIC via bechamel's C stub).  All
+   durations, sink timestamps and the sampling deadline use this source, so
+   a wall-clock step can never corrupt a span or compile timing.  [epoch]
+   remains available for the rare consumer that needs absolute time; no
+   current sink does (Chrome trace timestamps are relative to trace start). *)
+let monotime () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let epoch = Unix.gettimeofday
+
+let now = monotime
 
 let attach s =
   sinks := !sinks @ [ s ];
@@ -131,6 +159,41 @@ let flush () = List.iter (fun s -> s.sink_flush ()) !sinks
 let with_sink s f =
   attach s;
   Fun.protect ~finally:(fun () -> detach s) f
+
+(* ------------------------------------------------------------------ *)
+(* Sampling checkpoint (driven by the interpreter, consumed by the
+   profiler in [Profiler]).  The flag lives here, not in the profiler
+   module, so the interpreter's fast path is a single load+branch with no
+   cross-module cycle: [Profiler] depends on [Obs], never the reverse. *)
+
+let sampling = ref false
+
+let sample_interval = ref 0.001 (* seconds *)
+
+let sample_next = ref infinity (* monotonic deadline for the next sample *)
+
+let start_sampling ?(interval_ms = 1.0) () =
+  sample_interval := Float.max 1e-5 (interval_ms /. 1000.);
+  sample_next := monotime ();
+  sampling := true
+
+let stop_sampling () =
+  sampling := false;
+  sample_next := infinity
+
+(* Called from a sampling checkpoint (guarded by [!sampling]): true when a
+   sample is due now, advancing the deadline.  Skipped intervals (a long
+   pause in compiled code or a blocking native) do not cause a burst of
+   catch-up samples: the next deadline is always relative to [now]. *)
+let sample_due () =
+  !sampling
+  &&
+  let t = monotime () in
+  if t >= !sample_next then begin
+    sample_next := t +. !sample_interval;
+    true
+  end
+  else false
 
 (* Phase span: Span_begin/Span_end around [f], timing included.  With no
    sink attached this is a single branch plus a tail call. *)
@@ -281,6 +344,14 @@ module Chrome = struct
     | Exec_sample e ->
       record t ~ph:"i" ~name:("exec " ^ e.meth) ~cat:"exec" ~ts_us
         [ ev_tag; int_ "calls" e.calls; float_ "ms" e.ms ]
+    | Stack_sample e ->
+      let leaf =
+        match e.stack with
+        | (m, l) :: _ -> if l > 0 then Printf.sprintf "%s:%d" m l else m
+        | [] -> "?"
+      in
+      record t ~ph:"i" ~name:("sample " ^ leaf) ~cat:"profile" ~ts_us
+        [ ev_tag; int_ "depth" (List.length e.stack) ]
     | Span_begin e -> record t ~ph:"B" ~name:e.name ~cat:e.cat ~ts_us [ ev_tag ]
     | Span_end e ->
       record t ~ph:"E" ~name:e.name ~cat:e.cat ~ts_us
@@ -296,6 +367,22 @@ module Chrome = struct
     let oc = open_out path in
     output_string oc (dump t);
     close_out oc
+
+  (* Arrange for the trace to be written even if the traced program traps
+     mid-run and unwinds past the caller: an [at_exit] hook writes whatever
+     was buffered (the dump is well-formed JSON at any point).  Returns the
+     normal-completion writer, which also disarms the hook so a successful
+     run does not write twice. *)
+  let write_at_exit t path =
+    let written = ref false in
+    let write_once () =
+      if not !written then begin
+        written := true;
+        write t path
+      end
+    in
+    at_exit write_once;
+    write_once
 
   let sink t =
     {
@@ -382,7 +469,9 @@ module Profile = struct
       let p = entry t e.mid e.meth in
       p.pe_exec_calls <- p.pe_exec_calls + e.calls;
       p.pe_exec_ms <- p.pe_exec_ms +. e.ms
-    | Compile_start _ | Macro_expand _ | Span_begin _ | Span_end _ -> ()
+    | Compile_start _ | Macro_expand _ | Stack_sample _ | Span_begin _
+    | Span_end _ ->
+      ()
 
   let find t mid = Hashtbl.find_opt t.tbl mid
 

@@ -1,0 +1,181 @@
+(* Sampling profiler over the event bus: aggregates the interpreter's
+   [Stack_sample] events (timer-driven call-stack samples, innermost frame
+   first) together with the exact [Exec_sample] / [Deopt] attribution coming
+   from compiled code, into
+
+   - a folded-stack table consumable by standard flamegraph tools
+     (`flamegraph.pl`, speedscope, inferno): one "frame;frame;frame count"
+     line per distinct stack, frames annotated with their source line;
+   - per-source-line residency: tier-0 samples vs compiled-execution
+     milliseconds, plus deopt counts, for the `lancet explain` view.
+
+   The sampling *driver* lives in the interpreter (it owns the frame chain);
+   the checkpoint flag and deadline live in [Obs] ([Obs.sampling],
+   [Obs.sample_due]) so that with sampling off the interpreter pays a single
+   load+branch per step and this module is never on the fast path. *)
+
+type line_stat = {
+  mutable ls_label : string; (* a method label owning the line, for display *)
+  mutable ls_samples : int; (* tier-0 (interpreter) stack samples *)
+  mutable ls_exec_ms : float; (* compiled execution time attributed here *)
+  mutable ls_deopts : int;
+}
+
+type t = {
+  interval_ms : float; (* sampling period the driver was started with *)
+  folded : (string, int) Hashtbl.t; (* folded stack -> sample count *)
+  lines : (int, line_stat) Hashtbl.t; (* source line -> residency *)
+  mutable samples : int; (* total stack samples seen *)
+  mutable attributed : int; (* samples whose leaf frame had a line *)
+  mutable exec_ms : float; (* total compiled execution time *)
+  mutable exec_ms_attributed : float; (* ... with a known defining line *)
+}
+
+let create ?(interval_ms = 1.0) () =
+  {
+    interval_ms;
+    folded = Hashtbl.create 64;
+    lines = Hashtbl.create 64;
+    samples = 0;
+    attributed = 0;
+    exec_ms = 0.0;
+    exec_ms_attributed = 0.0;
+  }
+
+let line_stat t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some ls -> ls
+  | None ->
+    let ls = { ls_label = ""; ls_samples = 0; ls_exec_ms = 0.0; ls_deopts = 0 } in
+    Hashtbl.replace t.lines line ls;
+    ls
+
+let frame_name (label, line) =
+  if line > 0 then Printf.sprintf "%s:%d" label line else label
+
+let bump_folded t key n =
+  Hashtbl.replace t.folded key
+    (n + Option.value ~default:0 (Hashtbl.find_opt t.folded key))
+
+let on_event t (ev : Obs.event) =
+  match ev with
+  | Obs.Stack_sample { stack } ->
+    t.samples <- t.samples + 1;
+    (match stack with
+    | ((label, line) :: _) when line > 0 ->
+      t.attributed <- t.attributed + 1;
+      let ls = line_stat t line in
+      if ls.ls_label = "" then ls.ls_label <- label;
+      ls.ls_samples <- ls.ls_samples + 1
+    | _ -> ());
+    (* folded stacks are rendered root-first *)
+    bump_folded t (String.concat ";" (List.rev_map frame_name stack)) 1
+  | Obs.Exec_sample { meth; ms; line; _ } ->
+    t.exec_ms <- t.exec_ms +. ms;
+    if line > 0 then begin
+      t.exec_ms_attributed <- t.exec_ms_attributed +. ms;
+      let ls = line_stat t line in
+      if ls.ls_label = "" then ls.ls_label <- meth;
+      ls.ls_exec_ms <- ls.ls_exec_ms +. ms
+    end
+  | Obs.Deopt { meth; line; _ } ->
+    if line > 0 then begin
+      let ls = line_stat t line in
+      if ls.ls_label = "" then ls.ls_label <- meth;
+      ls.ls_deopts <- ls.ls_deopts + 1
+    end
+  | _ -> ()
+
+let sink t =
+  {
+    Obs.sink_name = "profiler";
+    sink_emit = (fun ~ts:_ ev -> on_event t ev);
+    sink_flush = ignore;
+  }
+
+(* Run [f] with the profiler attached and the interpreter's sampling
+   checkpoint armed; sampling stops and the sink detaches on the way out,
+   even on an exception. *)
+let profiled t f =
+  let s = sink t in
+  Obs.attach s;
+  Obs.start_sampling ~interval_ms:t.interval_ms ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.stop_sampling ();
+      Obs.detach s)
+    f
+
+(* ---- outputs ---- *)
+
+(* Folded-stack lines, alphabetical (stable for tests).  Compiled execution
+   time has no stack samples — it is measured exactly instead — so it is
+   folded in as synthetic `...;[compiled]` frames weighted by the sampling
+   interval, keeping interpreter and compiled residency comparable in one
+   flamegraph. *)
+let folded t =
+  let b = Buffer.create 1024 in
+  let entries =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.folded []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (k, n) -> if k <> "" then Buffer.add_string b (Printf.sprintf "%s %d\n" k n))
+    entries;
+  let compiled =
+    Hashtbl.fold
+      (fun line ls acc ->
+        if ls.ls_exec_ms > 0.0 then (line, ls) :: acc else acc)
+      t.lines []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (line, ls) ->
+      let w =
+        int_of_float (Float.round (ls.ls_exec_ms /. Float.max t.interval_ms 1e-6))
+      in
+      if w > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%s:%d;[compiled] %d\n" ls.ls_label line w))
+    compiled;
+  Buffer.contents b
+
+let write_folded t path =
+  let oc = open_out path in
+  output_string oc (folded t);
+  close_out oc
+
+(* Per-line residency, sorted by source line. *)
+let line_stats t =
+  Hashtbl.fold (fun line ls acc -> (line, ls) :: acc) t.lines []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Fraction of observed run time attributed to a source line: the minimum of
+   sample attribution (tier 0) and compiled-time attribution, so a gap in
+   either line table shows up.  1.0 when nothing was observed. *)
+let coverage t =
+  let s =
+    if t.samples = 0 then 1.0
+    else float_of_int t.attributed /. float_of_int t.samples
+  in
+  let x = if t.exec_ms <= 0.0 then 1.0 else t.exec_ms_attributed /. t.exec_ms in
+  Float.min s x
+
+let report t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%5s  %-32s %10s %12s %7s\n" "line" "method" "t0-samples"
+       "compiled-ms" "deopts");
+  List.iter
+    (fun (line, ls) ->
+      Buffer.add_string b
+        (Printf.sprintf "%5d  %-32s %10d %12.2f %7d\n" line ls.ls_label
+           ls.ls_samples ls.ls_exec_ms ls.ls_deopts))
+    (line_stats t);
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d samples (%d line-attributed), %.2fms compiled (%.2fms attributed), \
+        coverage %.0f%%\n"
+       t.samples t.attributed t.exec_ms t.exec_ms_attributed
+       (100.0 *. coverage t));
+  Buffer.contents b

@@ -9,6 +9,8 @@ type label = int
 type t = {
   rt : runtime;
   mutable code : instr array;
+  mutable lines : int array; (* parallel to [code]: source line per pc *)
+  mutable cur_line : int; (* stamped onto every emitted instruction *)
   mutable len : int;
   mutable labels : int array; (* label id -> pc, -1 while unplaced *)
   mutable nlabels : int;
@@ -20,6 +22,8 @@ let create rt ~nlocals =
   {
     rt;
     code = Array.make 32 Ret;
+    lines = Array.make 32 0;
+    cur_line = 0;
     len = 0;
     labels = Array.make 16 (-1);
     nlabels = 0;
@@ -27,13 +31,21 @@ let create rt ~nlocals =
     patches = [];
   }
 
+(* Set the source line stamped onto subsequently emitted instructions (the
+   line table of the method under construction); 0 means unknown. *)
+let set_line b line = b.cur_line <- line
+
 let emit b i =
   if b.len = Array.length b.code then begin
     let c = Array.make (2 * b.len) Ret in
     Array.blit b.code 0 c 0 b.len;
-    b.code <- c
+    b.code <- c;
+    let l = Array.make (2 * b.len) 0 in
+    Array.blit b.lines 0 l 0 b.len;
+    b.lines <- l
   end;
   b.code.(b.len) <- i;
+  b.lines.(b.len) <- b.cur_line;
   b.len <- b.len + 1
 
 let here b = b.len
@@ -136,30 +148,36 @@ let compute_maxstack rt code =
 
 let finish b =
   let code = Array.sub b.code 0 b.len in
+  (* branch patching rewrites instructions in place; pcs are unchanged, so
+     the line table needs no fixup *)
+  let lines = Array.sub b.lines 0 b.len in
   List.iter
     (fun (pos, l, make) ->
       let t = b.labels.(l) in
       if t < 0 then vm_error "unplaced label %d" l;
       code.(pos) <- make t)
     b.patches;
-  (code, b.nlocals, compute_maxstack b.rt code)
+  (code, lines, b.nlocals, compute_maxstack b.rt code)
 
-(* Fill the body of a previously declared method. *)
-let fill_method rt (m : meth) gen =
+(* Fill the body of a previously declared method.  [src] names the source
+   file the body was generated from (for `file:line` diagnostics). *)
+let fill_method ?src rt (m : meth) gen =
   let b = create rt ~nlocals:m.mnlocals in
   gen b;
   (* implicit return for generators that fall off the end *)
   emit b Ret;
-  let code, nlocals, maxstack = finish b in
+  let code, lines, nlocals, maxstack = finish b in
   m.mcode <- Bytecode code;
+  m.mlines <- lines;
+  (match src with Some s -> m.msrc <- s | None -> ());
   m.mnlocals <- nlocals;
   m.mmaxstack <- maxstack;
   m
 
 (* Define a bytecode method on [cls]; [gen] receives the builder, with local
    slots [0 .. nargs(-1|+0)] already holding the receiver and parameters. *)
-let define_method rt cls ~name ?(static = false) ~nargs gen =
+let define_method ?src rt cls ~name ?(static = false) ~nargs gen =
   let m =
     Classfile.add_method rt cls ~name ~static ~nargs (Bytecode [||])
   in
-  fill_method rt m gen
+  fill_method ?src rt m gen

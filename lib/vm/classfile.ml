@@ -66,6 +66,8 @@ let add_method rt cls ~name ?(static = false) ~nargs code =
       mnlocals = nlocals;
       mmaxstack = 8;
       mcode = code;
+      mlines = [||];
+      msrc = "";
       mcalls = 0;
       mbackedges = 0;
       mtier = Tier_cold;

@@ -63,10 +63,18 @@ let pp_method ?mark ppf m =
   (match m.mcode with
   | Native (name, _) -> Format.fprintf ppf "@,<native %s>" name
   | Bytecode code ->
+    (* annotate each pc where the source line changes (line tables are
+       absent for hand-assembled methods, whose output is unchanged) *)
+    let prev_line = ref 0 in
     Array.iteri
       (fun pc i ->
         let arrow = if mark = Some pc then "=> " else "   " in
-        Format.fprintf ppf "@,%s%4d: %a" arrow pc pp_instr i)
+        let line = if pc < Array.length m.mlines then m.mlines.(pc) else 0 in
+        if line > 0 && line <> !prev_line then begin
+          prev_line := line;
+          Format.fprintf ppf "@,%s%4d: %a  ; line %d" arrow pc pp_instr i line
+        end
+        else Format.fprintf ppf "@,%s%4d: %a" arrow pc pp_instr i)
       code);
   Format.fprintf ppf "@]"
 

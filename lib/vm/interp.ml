@@ -90,6 +90,24 @@ let frame_of_call meth caller nargs =
 
 exception Return_from_root of value
 
+(* Where frame [f] currently is, as "Cls.meth @pc N (file:line)".  [pc] has
+   already advanced past the faulting instruction when [step] raises. *)
+let frame_loc f = Runtime.meth_loc f.fmeth (max 0 (f.pc - 1))
+
+(* One timer-driven profiler sample: the whole frame chain, innermost frame
+   first, each frame resolved to (method label, source line). *)
+let emit_stack_sample f =
+  let rec walk acc fo =
+    match fo with
+    | None -> List.rev acc
+    | Some fr ->
+      let pc = max 0 (min fr.pc (Array.length fr.fcode - 1)) in
+      walk
+        ((Runtime.meth_label fr.fmeth, Runtime.line_at fr.fmeth pc) :: acc)
+        fr.parent
+  in
+  Obs.emit (Obs.Stack_sample { stack = walk [] (Some f) })
+
 (* Run the frame chain rooted (via parents) at [frame] to completion and
    return the value produced by the outermost frame of the chain.  This is
    the single entry point used both for fresh calls and for resuming
@@ -215,23 +233,28 @@ let resume rt frame =
       (match pop f with
       | Arr a -> push f (Int (Array.length a))
       | Farr a -> push f (Int (Array.length a))
-      | _ -> vm_error "alen: not an array")
+      | _ -> vm_error "alen: not an array at %s" (frame_loc f))
     | Invoke (Static m) -> invoke f m m.mnargs
     | Invoke (Special m) -> invoke f m (m.mnargs + 1)
     | Invoke (Virtual (name, argc, _)) ->
       let m =
         match f.ostack.(f.sp - argc - 1) with
         | Obj o -> Classfile.resolve_virtual o.ocls name
-        | Null -> vm_error "null receiver for %s" name
-        | _ -> vm_error "invokevirtual %s on non-object" name
+        | Null -> vm_error "null receiver for %s at %s" name (frame_loc f)
+        | _ -> vm_error "invokevirtual %s on non-object at %s" name (frame_loc f)
       in
       invoke f m (argc + 1)
     | Ret -> return_value Null
     | Retv -> return_value (pop f)
-    | Trap msg -> vm_error "trap: %s" msg
+    | Trap msg -> vm_error "trap: %s at %s" msg (frame_loc f)
   in
   while !current <> None do
-    match !current with Some f -> step f | None -> ()
+    match !current with
+    | Some f ->
+      (* profiler checkpoint: one load+branch when sampling is off *)
+      if !Obs.sampling && Obs.sample_due () then emit_stack_sample f;
+      step f
+    | None -> ()
   done;
   !result
 

@@ -99,6 +99,35 @@ let compiled_body rt id =
 (* The label used for a method in observability events and profile tables. *)
 let meth_label (m : meth) = m.mowner.cname ^ "." ^ m.mname
 
+(* ---- source provenance lookups (line tables live on [meth]) ---- *)
+
+(* Source line of the instruction at [pc]; 0 when unknown (no line table,
+   pc out of range, or the producer had no position for that pc). *)
+let line_at (m : meth) pc =
+  if pc >= 0 && pc < Array.length m.mlines then m.mlines.(pc) else 0
+
+(* The method's defining source line: the first attributed pc. *)
+let meth_def_line (m : meth) =
+  let n = Array.length m.mlines in
+  let rec go i = if i >= n then 0 else if m.mlines.(i) > 0 then m.mlines.(i) else go (i + 1) in
+  go 0
+
+(* "Cls.meth @pc 5 (file.mini:12)" — pc always, file:line when known. *)
+let meth_loc (m : meth) pc =
+  let base = Printf.sprintf "%s @pc %d" (meth_label m) pc in
+  match line_at m pc with
+  | 0 -> base
+  | l ->
+    Printf.sprintf "%s (%s:%d)" base (if m.msrc = "" then "?" else m.msrc) l
+
+let find_method_by_id rt mid : meth option =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ cls ->
+      List.iter (fun m -> if m.mid = mid then found := Some m) cls.cmethods)
+    rt.classes;
+  !found
+
 let tier_gen rt mid =
   match Hashtbl.find_opt rt.tiering.t_gen mid with Some g -> g | None -> 0
 

@@ -49,6 +49,23 @@ val compiled_body : runtime -> int -> value array -> value
 val meth_label : meth -> string
 (** ["Cls.name"], the label used in observability events and profiles. *)
 
+(** {2 Source provenance}
+
+    Line tables ([mlines], pc -> source line, 0 = unknown) are produced by
+    the assembler and the Mini code generator; these helpers resolve them. *)
+
+val line_at : meth -> int -> int
+(** Source line of the instruction at [pc]; 0 when unknown. *)
+
+val meth_def_line : meth -> int
+(** The method's defining source line: the first attributed pc, or 0. *)
+
+val meth_loc : meth -> int -> string
+(** ["Cls.meth @pc 5 (file.mini:12)"] — pc always, file:line when known. *)
+
+val find_method_by_id : runtime -> int -> meth option
+(** Reverse lookup of a method by its [mid] across all loaded classes. *)
+
 val tier_gen : runtime -> int -> int
 (** Current generation stamp of a method id (0 until first invalidation). *)
 

@@ -48,6 +48,12 @@ and meth = {
   mutable mnlocals : int; (* local slots incl. receiver and parameters *)
   mutable mmaxstack : int;
   mutable mcode : code;
+  (* source provenance: [mlines.(pc)] is the source line the instruction at
+     [pc] was generated from (0 = unknown); [||] when the producer supplied
+     no positions (hand-assembled code, natives).  [msrc] names the source
+     file for diagnostics; "" = unknown. *)
+  mutable mlines : int array;
+  mutable msrc : string;
   (* tiered-execution profiling: bumped by the interpreter, read by the
      promotion logic in [Runtime.tiered_fn] *)
   mutable mcalls : int; (* invocation counter *)

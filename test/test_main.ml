@@ -7,6 +7,7 @@ let () =
       ("lancet", Test_lancet.suite);
       ("tiering", Test_tiering.suite);
       ("obs", Test_obs.suite);
+      ("provenance", Test_provenance.suite);
       ("csv", Test_csv.suite);
       ("optiml", Test_optiml.suite);
       ("safeint", Test_safeint.suite);

@@ -278,7 +278,7 @@ let test_deep_recursion_frames () =
   Assembler.place b base;
   Assembler.emit b (Const (Int 0));
   Assembler.emit b Retv;
-  let code, nlocals, maxstack = Assembler.finish b in
+  let code, _lines, nlocals, maxstack = Assembler.finish b in
   m.mcode <- Bytecode code;
   m.mnlocals <- nlocals;
   m.mmaxstack <- maxstack;
