@@ -6,15 +6,18 @@
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
                           table2-namescore|ablate|micro|tiered|obs|profile|
-                          check|all]
+                          bgjit|check|all]
 
    [tiered] compares the pure interpreter against the tiered execution
    engine (hotness-driven method JIT) and writes BENCH_tiered.json (with
    an event-kind breakdown per workload); [obs] measures the cost of one
    observability emit site with and without a sink and writes
-   BENCH_obs.json; [check] is the fast correctness-only gate wired into
-   the runtest alias (now including a Chrome-trace smoke test and the
-   no-sink emit-overhead guard). *)
+   BENCH_obs.json; [bgjit] compares synchronous promotion against the
+   background compile queue (mutator compile pauses, time-to-tier-up) and
+   writes BENCH_bgjit.json; [check] is the fast correctness-only gate
+   wired into the runtest alias (now including a Chrome-trace smoke test,
+   the bgjit sync-vs-async equivalence gate and the no-sink emit-overhead
+   guard). *)
 
 open Vm.Types
 module Exec = Delite.Exec
@@ -753,6 +756,151 @@ let profile_bench () =
   close_out oc;
   pr "\nwrote BENCH_profile.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Background JIT: compile-queue promotion vs synchronous promotion     *)
+
+type bgjit_run = {
+  bj_result : int;
+  bj_total_ms : float;
+  bj_mutator_compile_ms : float; (* Compile_end wall time on the mutator *)
+  bj_worker_compile_ms : float; (* Compile_end wall time on worker domains *)
+  bj_tier_up_ms : float; (* start -> last Cache_install *)
+  bj_stats : Bgjit.stats option; (* None in synchronous mode *)
+}
+
+(* The tiered kmeans workload under a given compile mode.  A lightweight
+   sink splits compile wall time by worker id — in synchronous mode all of
+   it lands on the mutator (worker 0), i.e. it is interpreter pause time;
+   with a pool it moves to the worker tracks — and records the timestamp of
+   the last code-cache install, giving time-to-tier-up. *)
+let bgjit_kmeans ~jit_threads ~rows ~calls =
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:8 ~jit_threads ()
+  in
+  let p = Mini.Front.load rt tiered_kmeans_src in
+  let d = 4 and k = 3 in
+  let ps =
+    Array.init (rows * d) (fun i -> float_of_int ((i * 37 mod 101) - 50) /. 7.)
+  in
+  let cs = Array.init (k * d) (fun i -> float_of_int ((i * 53 mod 23) - 11) /. 3.) in
+  let mutator_ms = ref 0.0 and worker_ms = ref 0.0 in
+  let last_install = ref nan in
+  let sink =
+    {
+      Obs.sink_name = "bgjit-bench";
+      sink_emit =
+        (fun ~ts ev ->
+          match ev with
+          | Obs.Compile_end { ci_worker; ci_ms; _ } ->
+            if ci_worker = 0 then mutator_ms := !mutator_ms +. ci_ms
+            else worker_ms := !worker_ms +. ci_ms
+          | Obs.Cache_install _ -> last_install := ts
+          | _ -> ());
+      sink_flush = ignore;
+    }
+  in
+  Obs.attach sink;
+  let t0 = Obs.now () in
+  let acc = ref 0 in
+  for _ = 1 to calls do
+    acc :=
+      !acc
+      + Vm.Value.to_int
+          (Mini.Front.call p "assign_all"
+             [| Farr ps; Farr cs; Int rows; Int d; Int k |])
+  done;
+  (match pool with Some b -> Bgjit.drain b | None -> ());
+  let total_ms = (Obs.now () -. t0) *. 1000. in
+  Obs.flush ();
+  Obs.detach sink;
+  let stats = Option.map Bgjit.stats pool in
+  (match pool with Some b -> Bgjit.shutdown b | None -> ());
+  {
+    bj_result = !acc;
+    bj_total_ms = total_ms;
+    bj_mutator_compile_ms = !mutator_ms;
+    bj_worker_compile_ms = !worker_ms;
+    bj_tier_up_ms =
+      (if Float.is_nan !last_install then 0.0 else (!last_install -. t0) *. 1000.);
+    bj_stats = stats;
+  }
+
+let bgjit_bench () =
+  header "Background JIT: synchronous vs compile-queue promotion (kmeans)";
+  let rows = 200 and calls = 150 in
+  let sync = bgjit_kmeans ~jit_threads:0 ~rows ~calls in
+  let async = bgjit_kmeans ~jit_threads:2 ~rows ~calls in
+  if sync.bj_result <> async.bj_result then
+    failwith "bgjit bench: sync/async result mismatch";
+  let line name r =
+    pr "%-28s %10.1f ms total %10.2f ms mutator-compile %10.2f ms tier-up\n"
+      name r.bj_total_ms r.bj_mutator_compile_ms r.bj_tier_up_ms
+  in
+  line "sync (--jit-threads 0)" sync;
+  line "async (--jit-threads 2)" async;
+  (match async.bj_stats with
+  | Some s ->
+    pr "%-28s enqueued=%d coalesced=%d dropped=%d installed=%d stale=%d \
+        blacklisted=%d\n"
+      "queue" s.Bgjit.s_enqueued s.Bgjit.s_coalesced s.Bgjit.s_dropped
+      s.Bgjit.s_installed s.Bgjit.s_stale s.Bgjit.s_blacklisted
+  | None -> ());
+  let stat_json = function
+    | None -> "null"
+    | Some (s : Bgjit.stats) ->
+      Printf.sprintf
+        "{\"enqueued\": %d, \"coalesced\": %d, \"dropped\": %d, \"installed\": \
+         %d, \"stale\": %d, \"blacklisted\": %d}"
+        s.Bgjit.s_enqueued s.Bgjit.s_coalesced s.Bgjit.s_dropped
+        s.Bgjit.s_installed s.Bgjit.s_stale s.Bgjit.s_blacklisted
+  in
+  let run_json name r =
+    Printf.sprintf
+      "  %S: {\n    \"total_ms\": %.3f,\n    \"mutator_compile_ms\": %.3f,\n   \
+       \ \"worker_compile_ms\": %.3f,\n    \"tier_up_ms\": %.3f,\n    \
+       \"result\": %d,\n    \"queue\": %s\n  }"
+      name r.bj_total_ms r.bj_mutator_compile_ms r.bj_worker_compile_ms
+      r.bj_tier_up_ms r.bj_result (stat_json r.bj_stats)
+  in
+  let oc = open_out "BENCH_bgjit.json" in
+  output_string oc
+    (Printf.sprintf "{\n%s,\n%s\n}\n" (run_json "sync" sync)
+       (run_json "async" async));
+  close_out oc;
+  pr "\nwrote BENCH_bgjit.json\n"
+
+(* Correctness gate for the compile queue (part of [check], so it runs
+   under dune runtest): the async run must produce the sync checksum, every
+   request must be accounted for (installed + stale + blacklisted =
+   enqueued), and nothing may be left queued or stuck in flight. *)
+let bgjit_check () =
+  let rows = 40 and calls = 30 in
+  let sync = bgjit_kmeans ~jit_threads:0 ~rows ~calls in
+  let async = bgjit_kmeans ~jit_threads:2 ~rows ~calls in
+  if sync.bj_result <> async.bj_result then
+    failwith
+      (Printf.sprintf "bgjit check: checksum mismatch (sync %d, async %d)"
+         sync.bj_result async.bj_result);
+  (match async.bj_stats with
+  | None -> failwith "bgjit check: no pool stats"
+  | Some s ->
+    pr
+      "check bgjit             ok  (enqueued=%d installed=%d stale=%d \
+       blacklisted=%d)\n"
+      s.Bgjit.s_enqueued s.Bgjit.s_installed s.Bgjit.s_stale s.Bgjit.s_blacklisted;
+    if s.Bgjit.s_enqueued = 0 then
+      failwith "bgjit check: nothing was enqueued (promotion not routed)";
+    if s.Bgjit.s_installed = 0 then
+      failwith "bgjit check: nothing was installed";
+    if s.Bgjit.s_installed + s.Bgjit.s_stale + s.Bgjit.s_blacklisted
+       <> s.Bgjit.s_enqueued
+    then
+      failwith
+        (Printf.sprintf "bgjit check: lost requests (%d enqueued, %d resolved)"
+           s.Bgjit.s_enqueued
+           (s.Bgjit.s_installed + s.Bgjit.s_stale + s.Bgjit.s_blacklisted)));
+  ()
+
 (* Trace smoke test for the runtest gate: a small tiered kmeans run with a
    Chrome sink attached must produce well-formed JSON containing at least
    one compile-end event. *)
@@ -807,6 +955,7 @@ let tier_check () =
       then failwith (r.tr_name ^ ": compiles counted but no compile-end event"))
     rows;
   trace_smoke ();
+  bgjit_check ();
   obs_guard ~iters:2_000_000;
   profile_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
@@ -828,6 +977,7 @@ let () =
   | "tiered" -> tiered ()
   | "obs" -> obs_bench ()
   | "profile" -> profile_bench ()
+  | "bgjit" -> bgjit_bench ()
   | "check" -> tier_check ()
   | "all" ->
     table1 ();
@@ -838,7 +988,8 @@ let () =
     micro ();
     tiered ();
     obs_bench ();
-    profile_bench ()
+    profile_bench ();
+    bgjit_bench ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);
     exit 1

@@ -69,8 +69,12 @@ let print_deopt_sites rt (deopts : (string * int * string * int) list) =
 
 (* ---- run ---- *)
 
-let run_cmd tiered threshold trace print_compilation stats file fn args =
-  let rt = Lancet.Api.boot ~tiering:tiered ~tier_threshold:threshold () in
+let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
+    stats file fn args =
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:tiered ~tier_threshold:threshold ~jit_threads
+      ~jit_queue ()
+  in
   let chrome =
     Option.map
       (fun path ->
@@ -92,6 +96,8 @@ let run_cmd tiered threshold trace print_compilation stats file fn args =
   in
   let p = Mini.Front.load ~file rt (read_file file) in
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
+  (* let in-flight background compiles finish before reporting *)
+  (match pool with Some b -> Bgjit.drain b | None -> ());
   Obs.flush ();
   Format.printf "%a@." Vm.Value.pp v;
   (match chrome with
@@ -102,14 +108,22 @@ let run_cmd tiered threshold trace print_compilation stats file fn args =
   (match profile with
   | Some p -> Format.eprintf "@[<v>per-method profile:@,%s@]@." (Obs.Profile.table p)
   | None -> ());
+  (match pool with
+  | Some b ->
+    Bgjit.shutdown b;
+    if tiered || stats then Format.eprintf "[bgjit] %s@." (Bgjit.stats_string b)
+  | None -> ());
   if tiered || stats then
     Format.eprintf "[tier] %s@." (Vm.Runtime.tier_stats_string rt);
   0
 
 (* ---- trace: run tiered, write a Chrome trace + profile table ---- *)
 
-let trace_cmd threshold repeat out file fn args =
-  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
+let trace_cmd threshold jit_threads jit_queue repeat out file fn args =
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:threshold ~jit_threads
+      ~jit_queue ()
+  in
   let chrome = Obs.Chrome.create () in
   let profile = Obs.Profile.create () in
   let deopts = ref [] in
@@ -130,6 +144,7 @@ let trace_cmd threshold repeat out file fn args =
   for _ = 1 to max 1 repeat do
     v := Mini.Front.call p fn argv
   done;
+  (match pool with Some b -> Bgjit.drain b | None -> ());
   Obs.flush ();
   write_now ();
   Format.printf "result: %a@." Vm.Value.pp !v;
@@ -137,6 +152,11 @@ let trace_cmd threshold repeat out file fn args =
     out (Obs.Chrome.event_count chrome);
   Format.printf "@.per-method profile:@.%s" (Obs.Profile.table profile);
   print_deopt_sites rt !deopts;
+  (match pool with
+  | Some b ->
+    Bgjit.shutdown b;
+    Format.printf "@.[bgjit] %s@." (Bgjit.stats_string b)
+  | None -> ());
   Format.printf "@.[tier] %s@." (Vm.Runtime.tier_stats_string rt);
   0
 
@@ -259,6 +279,23 @@ let tier_threshold =
     & info [ "tier-threshold" ] ~docv:"N"
         ~doc:"Hotness threshold (calls + back-edges) for promotion")
 
+let jit_threads =
+  Arg.(
+    value & opt int 0
+    & info [ "jit-threads" ] ~docv:"N"
+        ~doc:
+          "Compile hot methods on $(docv) background worker domains; the \
+           interpreter keeps running at tier 0 until the code is installed. \
+           0 (the default) compiles synchronously on the mutator thread.")
+
+let jit_queue =
+  Arg.(
+    value & opt int 32
+    & info [ "jit-queue" ] ~docv:"M"
+        ~doc:
+          "Capacity of the background compile queue; requests beyond it are \
+           dropped (the method retries later), never blocking the mutator")
+
 let trace_opt =
   Arg.(
     value
@@ -284,8 +321,8 @@ let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
     Term.(
-      const run_cmd $ tiered_flag $ tier_threshold $ trace_opt
-      $ print_compilation_flag $ stats_flag $ file $ fn_pos $ rest)
+      const run_cmd $ tiered_flag $ tier_threshold $ jit_threads $ jit_queue
+      $ trace_opt $ print_compilation_flag $ stats_flag $ file $ fn_pos $ rest)
 
 let trace_out =
   Arg.(
@@ -308,8 +345,8 @@ let trace_t =
          "Run a Mini function under the tiered JIT and write a Chrome \
           trace_event JSON plus a per-method profile table")
     Term.(
-      const trace_cmd $ tier_threshold $ trace_repeat $ trace_out $ file
-      $ trace_fn $ rest)
+      const trace_cmd $ tier_threshold $ jit_threads $ jit_queue $ trace_repeat
+      $ trace_out $ file $ trace_fn $ rest)
 
 let sample_interval =
   Arg.(

@@ -1,0 +1,298 @@
+(* Background JIT compilation (the "compile off the hot path" layer that
+   production VMs — HotSpot, Graal, the paper's Lancet substrate — take for
+   granted): a bounded compile queue serviced by worker domains.
+
+   Protocol, in the order a request travels:
+
+   1. Promotion ([Runtime.tier_promote] via the hook installed by [install])
+      calls [enqueue]: the method is marked [Tier_compiling] and appended to
+      the queue.  A request for a method already queued coalesces into the
+      pending one; a full queue drops the request and returns the method to
+      [Tier_cold] so a later promotion retries.  The mutator never blocks.
+
+   2. A worker dequeues the request, reads the method's current generation
+      stamp, and runs the injected [compile] function (the full Lancet
+      stage/optimize/backend pipeline).  The interpreter keeps executing the
+      method at tier 0 throughout.
+
+   3. The result is published with [Runtime.tier_install_if_current]: under
+      the runtime's tiering lock, the entry point is installed only if the
+      generation still matches the stamp from step 2.  An invalidation that
+      raced the compile (deopt-recompile, explicit invalidate) bumped the
+      generation, so the stale code is discarded; if no newer request exists
+      for the method it returns to [Tier_cold] and may promote again.
+
+   4. A compile failure (exception or [None]) blacklists the method and logs
+      a diagnostic carrying the method's source location ([Runtime.meth_loc]
+      over the PR-3 line tables).  Worker domains never let an exception
+      escape: failure means "keep interpreting", not "kill the VM".
+
+   Observability: [Compile_enqueue]/[Compile_dequeue] events carry the queue
+   depth (the Chrome sink renders a queue-depth counter track), compiles run
+   with [Obs.set_worker] so Compile_start/Compile_end land on per-worker
+   tracks, and [Compile_blacklist] records failures.  Coalesced, dropped,
+   stale and blacklisted requests are counted in [stats]. *)
+
+open Vm.Types
+
+type stats = {
+  mutable s_enqueued : int;
+  mutable s_coalesced : int;
+  mutable s_dropped : int;
+  mutable s_installed : int;
+  mutable s_stale : int;
+  mutable s_blacklisted : int;
+}
+
+type t = {
+  rt : runtime;
+  compile : runtime -> meth -> (value array -> value) option;
+  capacity : int;
+  queue : meth Queue.t;
+  pending : (int, unit) Hashtbl.t; (* mids queued, not yet picked up *)
+  inflight : (int, unit) Hashtbl.t; (* mids a worker is compiling now *)
+  lock : Mutex.t; (* guards queue/pending/inflight/stats/stop *)
+  nonempty : Condition.t; (* signaled on enqueue and shutdown *)
+  idle : Condition.t; (* signaled when the pool goes quiescent *)
+  log : string -> unit;
+  stats : stats;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable saved_hook : (runtime -> meth -> jit_result) option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let stats t = t.stats
+
+let pending t =
+  locked t (fun () -> Queue.length t.queue + Hashtbl.length t.inflight)
+
+let stats_string t =
+  let s = t.stats in
+  Printf.sprintf
+    "enqueued=%d coalesced=%d dropped=%d installed=%d stale=%d blacklisted=%d"
+    s.s_enqueued s.s_coalesced s.s_dropped s.s_installed s.s_stale
+    s.s_blacklisted
+
+(* ------------------------------------------------------------------ *)
+(* Enqueue (mutator side)                                              *)
+
+(* All tier-state writes happen inside the queue lock: a worker can only
+   dequeue (and later blacklist/install/retire) a request strictly after
+   the enqueue's critical section, so its terminal [mtier] write can never
+   be clobbered by the mutator's [Tier_compiling] mark racing it. *)
+let enqueue t (m : meth) =
+  let r, depth =
+    locked t (fun () ->
+        if (not t.stop) && Hashtbl.mem t.pending m.mid then begin
+          t.stats.s_coalesced <- t.stats.s_coalesced + 1;
+          (* the already-pending request will compile the current
+             generation (stamps are read at dequeue), so this one merges *)
+          m.mtier <- Tier_compiling;
+          (`Coalesced, 0)
+        end
+        else if t.stop || Queue.length t.queue >= t.capacity then begin
+          t.stats.s_dropped <- t.stats.s_dropped + 1;
+          (* saturation (or shutdown): back to cold, so the method stays
+             interpretable and a later promotion retries *)
+          if m.mtier = Tier_compiling then m.mtier <- Tier_cold;
+          (`Dropped, 0)
+        end
+        else begin
+          t.stats.s_enqueued <- t.stats.s_enqueued + 1;
+          Hashtbl.replace t.pending m.mid ();
+          Queue.add m t.queue;
+          (* the queued request owns the tier state until it terminates *)
+          m.mtier <- Tier_compiling;
+          Condition.signal t.nonempty;
+          (`Queued, Queue.length t.queue)
+        end)
+  in
+  (match r with
+  | `Queued ->
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Compile_enqueue
+           {
+             meth = Vm.Runtime.meth_label m;
+             mid = m.mid;
+             gen = Vm.Runtime.tier_gen t.rt m.mid;
+             depth;
+           })
+  | `Coalesced | `Dropped -> ());
+  r
+
+let jit_hook t (_rt : runtime) (m : meth) : jit_result =
+  match m.mcode with
+  | Native _ -> Jit_declined
+  | Bytecode _ ->
+    ignore (enqueue t m);
+    (* even a dropped request answers [Jit_pending]: the method keeps
+       interpreting and retries, it is not blacklisted *)
+    Jit_pending
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+
+(* "Cls.meth @pc k (file.mini:12)": the first pc with an attributed source
+   line, so blacklist diagnostics carry file:line when line tables exist. *)
+let meth_src_loc (m : meth) =
+  let n = Array.length m.mlines in
+  let rec first_attributed i =
+    if i >= n then 0 else if m.mlines.(i) > 0 then i else first_attributed (i + 1)
+  in
+  Vm.Runtime.meth_loc m (first_attributed 0)
+
+let blacklist t wid (m : meth) err =
+  m.mtier <- Tier_blacklisted;
+  let loc = meth_src_loc m in
+  if !Obs.enabled then
+    Obs.emit
+      (Obs.Compile_blacklist
+         { meth = Vm.Runtime.meth_label m; mid = m.mid; worker = wid; loc; err });
+  t.log
+    (Printf.sprintf "[bgjit] worker %d: blacklisted %s: %s" wid loc err)
+
+let process t wid (m : meth) =
+  (* the stamp the install is conditioned on: read after dequeue, so an
+     invalidation while the request sat in the queue is already absorbed
+     and only an invalidation racing the compile itself can make it stale *)
+  let gen = Vm.Runtime.tier_gen t.rt m.mid in
+  let outcome =
+    match t.compile t.rt m with
+    | Some fn ->
+      if Vm.Runtime.tier_install_if_current t.rt m ~gen fn then `Installed
+      else `Stale
+    | None -> `Failed "compiler declined (no entry point)"
+    | exception e -> `Failed (Printexc.to_string e)
+  in
+  (match outcome with `Failed err -> blacklist t wid m err | _ -> ());
+  (* terminal bookkeeping is atomic with the in-flight removal, so the
+     stale-retire decision cannot mistake this worker's own entry for a
+     newer request *)
+  locked t (fun () ->
+      Hashtbl.remove t.inflight m.mid;
+      (match outcome with
+      | `Installed -> t.stats.s_installed <- t.stats.s_installed + 1
+      | `Failed _ -> t.stats.s_blacklisted <- t.stats.s_blacklisted + 1
+      | `Stale ->
+        (* the generation moved while compiling: the code was discarded
+           by the conditional install.  If no newer request owns the
+           method (queued, or in flight on another worker), return it to
+           cold so hotness can promote it again. *)
+        t.stats.s_stale <- t.stats.s_stale + 1;
+        let newer =
+          Hashtbl.mem t.pending m.mid || Hashtbl.mem t.inflight m.mid
+        in
+        if (not newer) && m.mtier = Tier_compiling then m.mtier <- Tier_cold);
+      if Queue.is_empty t.queue && Hashtbl.length t.inflight = 0 then
+        Condition.broadcast t.idle)
+
+let rec worker_loop t wid =
+  let job =
+    locked t (fun () ->
+        while Queue.is_empty t.queue && not t.stop do
+          Condition.wait t.nonempty t.lock
+        done;
+        (* on shutdown, finish whatever is queued before exiting: no
+           request is ever lost or left stuck in [Tier_compiling] *)
+        match Queue.take_opt t.queue with
+        | Some m ->
+          Hashtbl.remove t.pending m.mid;
+          (* [add], not [replace]: the same mid can be in flight on two
+             workers at once (requeued while compiling), and each holds
+             its own binding — [Hashtbl.length] counts both *)
+          Hashtbl.add t.inflight m.mid ();
+          Some (m, Queue.length t.queue)
+        | None -> None)
+  in
+  match job with
+  | None -> () (* stop requested and queue drained *)
+  | Some (m, depth) ->
+    if !Obs.enabled then
+      Obs.emit
+        (Obs.Compile_dequeue
+           { meth = Vm.Runtime.meth_label m; mid = m.mid; worker = wid; depth });
+    process t wid m;
+    worker_loop t wid
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let create ?threads ?queue ?log ~compile rt =
+  let threads =
+    max 1 (match threads with Some n -> n | None -> rt.tiering.t_jit_threads)
+  in
+  let capacity =
+    max 1 (match queue with Some n -> n | None -> rt.tiering.t_jit_queue)
+  in
+  rt.tiering.t_jit_threads <- threads;
+  rt.tiering.t_jit_queue <- capacity;
+  let t =
+    {
+      rt;
+      compile;
+      capacity;
+      queue = Queue.create ();
+      pending = Hashtbl.create 64;
+      inflight = Hashtbl.create 8;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      log =
+        (match log with
+        | Some f -> f
+        | None -> fun s -> prerr_string (s ^ "\n"));
+      stats =
+        {
+          s_enqueued = 0;
+          s_coalesced = 0;
+          s_dropped = 0;
+          s_installed = 0;
+          s_stale = 0;
+          s_blacklisted = 0;
+        };
+      stop = false;
+      domains = [];
+      saved_hook = None;
+    }
+  in
+  t.domains <-
+    List.init threads (fun i ->
+        let wid = i + 1 in
+        Domain.spawn (fun () ->
+            Obs.set_worker wid;
+            worker_loop t wid));
+  t
+
+let install t =
+  t.saved_hook <- t.rt.jit_hook;
+  t.rt.jit_hook <- Some (fun rt m -> jit_hook t rt m);
+  t.rt.tiering.t_bg_recompile <- Some (fun m -> ignore (enqueue t m))
+
+let drain t =
+  locked t (fun () ->
+      while not (Queue.is_empty t.queue && Hashtbl.length t.inflight = 0) do
+        Condition.wait t.idle t.lock
+      done)
+
+let shutdown t =
+  locked t (fun () ->
+      t.stop <- true;
+      Condition.broadcast t.nonempty);
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  (* restore synchronous compilation for whatever runs after the pool *)
+  if t.rt.tiering.t_bg_recompile <> None then begin
+    t.rt.tiering.t_bg_recompile <- None;
+    t.rt.jit_hook <- t.saved_hook
+  end

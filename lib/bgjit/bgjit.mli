@@ -1,0 +1,68 @@
+(** Background JIT compilation: a bounded compile queue serviced by worker
+    domains, so method promotion no longer pauses the interpreter.
+
+    The subsystem sits between the tiered execution engine and the Lancet
+    compile pipeline: the promotion path ([Runtime.tier_promote] via
+    [rt.jit_hook]) enqueues hot methods and keeps interpreting at tier 0;
+    worker domains pull requests, run the injected [compile] function, and
+    publish the entry point into the runtime code cache with an atomic
+    generation-checked install ([Runtime.tier_install_if_current]) so an
+    invalidation that races an in-flight compile can never activate stale
+    code.  A worker exception blacklists the method and logs a diagnostic
+    carrying the method's [file:line] — it never kills the VM. *)
+
+open Vm.Types
+
+type t
+
+(** Monotone counters describing what the queue did.  Every request is
+    accounted exactly once: [enqueued] splits into [installed] + [stale] +
+    [blacklisted] once drained, while [coalesced] and [dropped] count
+    requests that never entered the queue. *)
+type stats = {
+  mutable s_enqueued : int;  (** requests that entered the queue *)
+  mutable s_coalesced : int;  (** merged into an already-pending request *)
+  mutable s_dropped : int;  (** rejected: queue full (the method retries) *)
+  mutable s_installed : int;  (** compiled and published into the cache *)
+  mutable s_stale : int;  (** compiled, but the generation moved: discarded *)
+  mutable s_blacklisted : int;  (** compile failed: method blacklisted *)
+}
+
+val create :
+  ?threads:int ->
+  ?queue:int ->
+  ?log:(string -> unit) ->
+  compile:(runtime -> meth -> (value array -> value) option) ->
+  runtime ->
+  t
+(** Spawn a pool of [threads] worker domains (default: the runtime's
+    [t_jit_threads] knob, clamped to at least 1) over a queue bounded at
+    [queue] requests (default: [t_jit_queue]).  [compile] is the raw
+    compile step — [Lancet.Tiering.compile] in production, a stub in tests.
+    [log] receives blacklist diagnostics (default: stderr). *)
+
+val install : t -> unit
+(** Point the runtime at the pool: replaces [rt.jit_hook] with the
+    enqueueing hook and routes deopt-triggered recompiles through the
+    queue ([t_bg_recompile]).  [shutdown] restores the previous hook. *)
+
+val enqueue : t -> meth -> [ `Queued | `Coalesced | `Dropped ]
+(** Request a (re)compile of [m].  Never blocks: a request for a method
+    already pending coalesces, and a full queue drops the request (the
+    method returns to cold and retries on a later promotion). *)
+
+val drain : t -> unit
+(** Block until the queue is empty and no compile is in flight.  Test and
+    benchmark hook; production callers never wait on the compiler. *)
+
+val shutdown : t -> unit
+(** Drain remaining requests, stop and join the workers, and restore the
+    runtime's synchronous hook.  Idempotent. *)
+
+val stats : t -> stats
+
+val pending : t -> int
+(** Requests currently queued or being compiled (0 after [drain]). *)
+
+val stats_string : t -> string
+(** One-line summary of the pool counters, for benches and logging. *)

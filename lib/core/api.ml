@@ -260,7 +260,28 @@ let install rt =
 (* Boot a runtime with builtins + the Lancet JIT installed.  [tiering]
    enables hotness-driven promotion of interpreted methods (tier 0 -> 1);
    see {!Vm.Runtime.create} for the knobs. *)
-let boot ?tiering ?tier_threshold ?tier_cache_size () =
-  let rt = Vm.Natives.boot ?tiering ?tier_threshold ?tier_cache_size () in
+let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue () =
+  let rt =
+    Vm.Natives.boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads
+      ?jit_queue ()
+  in
   install rt;
   rt
+
+(* Boot with background compilation: when [jit_threads > 0], spawns a
+   [Bgjit] worker pool over the tiering compile pipeline and points the
+   promotion path at it, so hot methods tier up off the mutator thread.
+   Returns the pool so the caller can [Bgjit.drain]/[Bgjit.shutdown] (and
+   read its stats); [None] means synchronous compilation, identical to
+   [boot].  Callers must shut the pool down before process exit. *)
+let boot_bg ?tiering ?tier_threshold ?tier_cache_size ?(jit_threads = 0)
+    ?jit_queue () =
+  let rt =
+    boot ?tiering ?tier_threshold ?tier_cache_size ~jit_threads ?jit_queue ()
+  in
+  if jit_threads <= 0 then (rt, None)
+  else begin
+    let pool = Bgjit.create ~compile:Tiering.compile rt in
+    Bgjit.install pool;
+    (rt, Some pool)
+  end

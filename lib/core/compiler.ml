@@ -1707,7 +1707,8 @@ let obs_compile0 (m : meth) (build : unit -> 'a) : 'a =
   if not !Obs.enabled then build ()
   else begin
     let meth = Vm.Runtime.meth_label m and mid = m.mid in
-    Obs.emit (Obs.Compile_start { meth; mid; tier = 0 });
+    Obs.emit
+      (Obs.Compile_start { meth; mid; tier = 0; worker = Obs.worker_id () });
     let t0 = Obs.now () in
     let ty0 = !Lms.Typed_backend.count_typed in
     let fb0 = !Lms.Typed_backend.count_fallback in
@@ -1719,6 +1720,7 @@ let obs_compile0 (m : meth) (build : unit -> 'a) : 'a =
              ci_meth = meth;
              ci_mid = mid;
              ci_tier = 0;
+             ci_worker = Obs.worker_id ();
              ci_backend = backend;
              ci_fallback = fallback;
              ci_nodes_in = nodes_in;

@@ -34,11 +34,30 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
   let opts = { C.default_options with C.name = "tier:" ^ label } in
   let cell = ref (fun _ -> Null) in
   (* Execution-time sampling for the installed entry point: the first call
-     and every 64th call thereafter flush the accumulated wall time. *)
+     and every 64th call thereafter flush the accumulated wall time; the
+     remainder of a partial batch is flushed by the [Obs.add_flusher] hook
+     below (run by [Obs.flush] and the at-exit trace writer), so short runs
+     no longer under-report Exec_sample time. *)
   let exec_total = ref 0 in
   let pend_calls = ref 0 in
   let pend_ms = ref 0.0 in
   let def_line = Vm.Runtime.meth_def_line m in
+  let flush_pending () =
+    if !pend_calls > 0 then begin
+      Obs.emit
+        (Obs.Exec_sample
+           {
+             meth = label;
+             mid = m.mid;
+             calls = !pend_calls;
+             ms = !pend_ms;
+             line = def_line;
+           });
+      pend_calls := 0;
+      pend_ms := 0.0
+    end
+  in
+  Obs.add_flusher flush_pending;
   let entry args =
     if not !Obs.enabled then !cell args
     else begin
@@ -47,26 +66,16 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
       incr exec_total;
       incr pend_calls;
       pend_ms := !pend_ms +. ((Obs.now () -. t0) *. 1000.);
-      if !exec_total = 1 || !pend_calls >= 64 then begin
-        Obs.emit
-          (Obs.Exec_sample
-             {
-               meth = label;
-               mid = m.mid;
-               calls = !pend_calls;
-               ms = !pend_ms;
-               line = def_line;
-             });
-        pend_calls := 0;
-        pend_ms := 0.0
-      end;
+      if !exec_total = 1 || !pend_calls >= 64 then flush_pending ();
       v
     end
   in
   let rec build () =
     let obs = !Obs.enabled in
     if obs then
-      Obs.emit (Obs.Compile_start { meth = label; mid = m.mid; tier = 1 });
+      Obs.emit
+        (Obs.Compile_start
+           { meth = label; mid = m.mid; tier = 1; worker = Obs.worker_id () });
     let t0 = if obs then Obs.now () else 0.0 in
     let emit_end backend fallback =
       if !Obs.enabled then begin
@@ -77,6 +86,7 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
                ci_meth = label;
                ci_mid = m.mid;
                ci_tier = 1;
+               ci_worker = Obs.worker_id ();
                ci_backend = backend;
                ci_fallback = fallback;
                ci_nodes_in = nodes_in;
@@ -122,9 +132,17 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
               (match se.Lms.Ir.se_kind with
               | `Recompile -> (
                 Vm.Runtime.tier_invalidate rt m;
-                match build () with
-                | () -> Vm.Runtime.tier_install rt m entry
-                | exception _ -> m.mtier <- Tier_blacklisted)
+                (* With background compilation installed, the rebuild goes
+                   through the compile queue: the mutator resumes in the
+                   interpreter immediately and a worker publishes the new
+                   code at the bumped generation.  Synchronous mode rebuilds
+                   in place, as before. *)
+                match rt.tiering.t_bg_recompile with
+                | Some enqueue -> enqueue m
+                | None -> (
+                  match build () with
+                  | () -> Vm.Runtime.tier_install rt m entry
+                  | exception _ -> m.mtier <- Tier_blacklisted))
               | `Interpret -> ());
               Vm.Interp.resume rt (C.reconstruct_frames se vals));
         }
@@ -150,10 +168,19 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
   | () -> Some entry
   | exception _ -> None (* compile failure: the caller blacklists *)
 
-let jit_hook rt (m : meth) : (value array -> value) option =
+(* The raw compile step, shared by the synchronous hook below and the
+   background JIT workers ([Bgjit] injects it as the pool's compile
+   function): stage + optimize + backend, no installation, no tier-state
+   bookkeeping.  [None] means the method cannot be compiled. *)
+let compile rt (m : meth) : (value array -> value) option =
   match m.mcode with
   | Native _ -> None
   | Bytecode _ -> compile_method_dyn rt m
+
+let jit_hook rt (m : meth) : jit_result =
+  match compile rt m with
+  | Some fn -> Jit_compiled fn
+  | None -> Jit_declined
 
 (* Install the tier-1 compiler; promotion still requires the runtime to have
    tiering enabled ([Runtime.create ~tiering:true] or [rt.tiering.t_enabled]). *)

@@ -13,7 +13,11 @@
    3. Sinks are synchronous and composable: a ring buffer for tests and
       post-mortem dumps, a text log in the spirit of HotSpot's
       -XX:+PrintCompilation, a Chrome trace_event JSON writer for
-      chrome://tracing, and a per-method profile aggregator. *)
+      chrome://tracing, and a per-method profile aggregator.
+   4. The bus is domain-safe: with background JIT compilation, events
+      arrive concurrently from worker domains, so sink dispatch is guarded
+      by a mutex.  The no-sink fast path is unchanged — a single
+      load+branch, no lock taken. *)
 
 (* ------------------------------------------------------------------ *)
 (* Events                                                              *)
@@ -22,6 +26,7 @@ type compile_info = {
   ci_meth : string; (* "Cls.name" *)
   ci_mid : int; (* method id, stable key across events *)
   ci_tier : int; (* 1 = tiered method JIT, 0 = explicit Lancet.compile *)
+  ci_worker : int; (* JIT worker domain running the compile; 0 = mutator *)
   ci_backend : string; (* "typed" | "closure" | "failed" *)
   ci_fallback : string option; (* why the typed backend was rejected *)
   ci_nodes_in : int; (* IR nodes after staging, before optimization *)
@@ -32,8 +37,20 @@ type compile_info = {
 type deopt_kind = Interpret | Recompile
 
 type event =
-  | Compile_start of { meth : string; mid : int; tier : int }
+  | Compile_start of { meth : string; mid : int; tier : int; worker : int }
   | Compile_end of compile_info
+  | Compile_enqueue of { meth : string; mid : int; gen : int; depth : int }
+      (* a compile request entered the background queue; [depth] is the
+         queue depth just after the enqueue *)
+  | Compile_dequeue of { meth : string; mid : int; worker : int; depth : int }
+      (* a JIT worker picked the request up; [depth] is what remains *)
+  | Compile_blacklist of {
+      meth : string;
+      mid : int;
+      worker : int;
+      loc : string; (* "file:line" of the method definition, or "?" *)
+      err : string; (* the exception / refusal that killed the compile *)
+    }
   | Deopt of {
       meth : string;
       mid : int;
@@ -60,6 +77,9 @@ type event =
 let kind_name = function
   | Compile_start _ -> "compile-start"
   | Compile_end _ -> "compile-end"
+  | Compile_enqueue _ -> "compile-enqueue"
+  | Compile_dequeue _ -> "compile-dequeue"
+  | Compile_blacklist _ -> "compile-blacklist"
   | Deopt _ -> "deopt"
   | Tier_promote _ -> "tier-promote"
   | Cache_install _ -> "cache-install"
@@ -77,14 +97,26 @@ let deopt_kind_name = function Interpret -> "interpret" | Recompile -> "recompil
 let to_string ev =
   match ev with
   | Compile_start e ->
-    Printf.sprintf "%-16s tier%d %s" (kind_name ev) e.tier e.meth
+    Printf.sprintf "%-16s tier%d %s%s" (kind_name ev) e.tier e.meth
+      (if e.worker > 0 then Printf.sprintf " [worker %d]" e.worker else "")
   | Compile_end c ->
-    Printf.sprintf "%-16s tier%d %-32s backend=%s%s nodes %d->%d %.2fms"
+    Printf.sprintf "%-16s tier%d %-32s backend=%s%s nodes %d->%d %.2fms%s"
       (kind_name ev) c.ci_tier c.ci_meth c.ci_backend
       (match c.ci_fallback with
       | Some r -> Printf.sprintf " (fallback: %s)" r
       | None -> "")
       c.ci_nodes_in c.ci_nodes_out c.ci_ms
+      (if c.ci_worker > 0 then Printf.sprintf " [worker %d]" c.ci_worker
+       else "")
+  | Compile_enqueue e ->
+    Printf.sprintf "%-16s %s gen=%d depth=%d" (kind_name ev) e.meth e.gen
+      e.depth
+  | Compile_dequeue e ->
+    Printf.sprintf "%-16s %s [worker %d] depth=%d" (kind_name ev) e.meth
+      e.worker e.depth
+  | Compile_blacklist e ->
+    Printf.sprintf "%-16s %s [worker %d] at %s: %s" (kind_name ev) e.meth
+      e.worker e.loc e.err
   | Deopt e ->
     Printf.sprintf "%-16s %s @pc %d%s (%s, %s)" (kind_name ev) e.meth e.pc
       (if e.line > 0 then Printf.sprintf " line %d" e.line else "")
@@ -129,6 +161,31 @@ let enabled = ref false
 
 let sinks : sink list ref = ref []
 
+(* Sink dispatch is serialized: events arrive concurrently from the mutator
+   and background JIT worker domains, and the stock sinks mutate shared
+   buffers/tables.  The lock is taken only after the [enabled] check, so
+   the no-sink fast path stays a single load+branch. *)
+let bus_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock bus_lock;
+  match f () with
+  | v ->
+    Mutex.unlock bus_lock;
+    v
+  | exception e ->
+    Mutex.unlock bus_lock;
+    raise e
+
+(* Which JIT worker domain is running, for worker-tagged events (and the
+   per-worker tracks of the Chrome sink).  0 = the mutator; background
+   workers set 1..N at startup. *)
+let worker_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let set_worker i = Domain.DLS.set worker_key i
+
+let worker_id () = Domain.DLS.get worker_key
+
 (* Monotonic time in seconds (CLOCK_MONOTONIC via bechamel's C stub).  All
    durations, sink timestamps and the sampling deadline use this source, so
    a wall-clock step can never corrupt a span or compile timing.  [epoch]
@@ -141,20 +198,38 @@ let epoch = Unix.gettimeofday
 let now = monotime
 
 let attach s =
-  sinks := !sinks @ [ s ];
-  enabled := true
+  locked (fun () ->
+      sinks := !sinks @ [ s ];
+      enabled := true)
 
 let detach s =
-  sinks := List.filter (fun x -> x != s) !sinks;
-  enabled := !sinks <> []
+  locked (fun () ->
+      sinks := List.filter (fun x -> x != s) !sinks;
+      enabled := !sinks <> [])
 
 let emit ev =
   if !enabled then begin
     let ts = now () in
-    List.iter (fun s -> s.sink_emit ~ts ev) !sinks
+    locked (fun () -> List.iter (fun s -> s.sink_emit ~ts ev) !sinks)
   end
 
-let flush () = List.iter (fun s -> s.sink_flush ()) !sinks
+(* Pre-flush hooks: emitters that batch state between events (e.g. the
+   compiled-code execution sampler in [Tiering], which accumulates wall time
+   and flushes every 64th call) register a hook here so the remainder is
+   emitted before sinks flush or a trace is written — otherwise short runs
+   under-report.  Hooks must be idempotent; they run outside [bus_lock]
+   because they emit. *)
+let flushers : (unit -> unit) list ref = ref []
+
+let add_flusher f = locked (fun () -> flushers := f :: !flushers)
+
+let run_flushers () =
+  let fs = locked (fun () -> !flushers) in
+  List.iter (fun f -> f ()) fs
+
+let flush () =
+  run_flushers ();
+  locked (fun () -> List.iter (fun s -> s.sink_flush ()) !sinks)
 
 let with_sink s f =
   attach s;
@@ -284,14 +359,16 @@ module Chrome = struct
       s;
     Buffer.contents b
 
-  (* one trace_event record; [args] are pre-rendered "key":value pairs *)
-  let record t ~ph ~name ~cat ~ts_us (args : string list) =
+  (* one trace_event record; [args] are pre-rendered "key":value pairs.
+     [tid] 1 is the mutator; background JIT workers use 1+worker so their
+     compiles render as separate tracks in chrome://tracing. *)
+  let record t ?(tid = 1) ~ph ~name ~cat ~ts_us (args : string list) =
     if t.count > 0 then Buffer.add_string t.buf ",\n";
     t.count <- t.count + 1;
     Buffer.add_string t.buf
       (Printf.sprintf
-         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f"
-         (escape name) (escape cat) ph ts_us);
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+         (escape name) (escape cat) ph tid ts_us);
     (match ph with
     | "i" -> Buffer.add_string t.buf ",\"s\":\"t\""
     | _ -> ());
@@ -312,14 +389,32 @@ module Chrome = struct
     let ev_tag = str "ev" (kind_name ev) in
     match ev with
     | Compile_start e ->
-      record t ~ph:"B" ~name:("compile " ^ e.meth) ~cat:"jit" ~ts_us
-        [ ev_tag; int_ "tier" e.tier; int_ "mid" e.mid ]
+      record t ~tid:(1 + e.worker) ~ph:"B" ~name:("compile " ^ e.meth)
+        ~cat:"jit" ~ts_us
+        [ ev_tag; int_ "tier" e.tier; int_ "mid" e.mid;
+          int_ "worker" e.worker ]
     | Compile_end c ->
-      record t ~ph:"E" ~name:("compile " ^ c.ci_meth) ~cat:"jit" ~ts_us
+      record t ~tid:(1 + c.ci_worker) ~ph:"E"
+        ~name:("compile " ^ c.ci_meth) ~cat:"jit" ~ts_us
         ([ ev_tag; int_ "tier" c.ci_tier; str "backend" c.ci_backend;
            int_ "nodes_in" c.ci_nodes_in; int_ "nodes_out" c.ci_nodes_out;
            float_ "ms" c.ci_ms ]
         @ match c.ci_fallback with Some r -> [ str "fallback" r ] | None -> [])
+    | Compile_enqueue e ->
+      record t ~ph:"i" ~name:("enqueue " ^ e.meth) ~cat:"jit" ~ts_us
+        [ ev_tag; int_ "gen" e.gen; int_ "depth" e.depth ];
+      record t ~ph:"C" ~name:"jit-queue-depth" ~cat:"jit" ~ts_us
+        [ int_ "depth" e.depth ]
+    | Compile_dequeue e ->
+      record t ~tid:(1 + e.worker) ~ph:"i" ~name:("dequeue " ^ e.meth)
+        ~cat:"jit" ~ts_us
+        [ ev_tag; int_ "worker" e.worker; int_ "depth" e.depth ];
+      record t ~ph:"C" ~name:"jit-queue-depth" ~cat:"jit" ~ts_us
+        [ int_ "depth" e.depth ]
+    | Compile_blacklist e ->
+      record t ~tid:(1 + e.worker) ~ph:"i" ~name:("blacklist " ^ e.meth)
+        ~cat:"jit" ~ts_us
+        [ ev_tag; str "loc" e.loc; str "err" e.err ]
     | Deopt e ->
       record t ~ph:"i" ~name:("deopt " ^ e.tag) ~cat:"jit" ~ts_us
         [ ev_tag; str "meth" e.meth; int_ "pc" e.pc;
@@ -372,12 +467,15 @@ module Chrome = struct
      mid-run and unwinds past the caller: an [at_exit] hook writes whatever
      was buffered (the dump is well-formed JSON at any point).  Returns the
      normal-completion writer, which also disarms the hook so a successful
-     run does not write twice. *)
+     run does not write twice.  Pre-flush hooks (pending Exec_sample
+     remainders etc.) run before the dump so short runs don't under-report
+     in the written trace. *)
   let write_at_exit t path =
     let written = ref false in
     let write_once () =
       if not !written then begin
         written := true;
+        run_flushers ();
         write t path
       end
     in
@@ -469,7 +567,8 @@ module Profile = struct
       let p = entry t e.mid e.meth in
       p.pe_exec_calls <- p.pe_exec_calls + e.calls;
       p.pe_exec_ms <- p.pe_exec_ms +. e.ms
-    | Compile_start _ | Macro_expand _ | Stack_sample _ | Span_begin _
+    | Compile_start _ | Compile_enqueue _ | Compile_dequeue _
+    | Compile_blacklist _ | Macro_expand _ | Stack_sample _ | Span_begin _
     | Span_end _ ->
       ()
 

@@ -184,7 +184,10 @@ let install rt =
   install_compiledfn rt;
   install_lancet rt
 
-let boot ?tiering ?tier_threshold ?tier_cache_size () =
-  let rt = Runtime.create ?tiering ?tier_threshold ?tier_cache_size () in
+let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue () =
+  let rt =
+    Runtime.create ?tiering ?tier_threshold ?tier_cache_size ?jit_threads
+      ?jit_queue ()
+  in
   install rt;
   rt

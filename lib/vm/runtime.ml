@@ -5,7 +5,7 @@
 open Types
 
 let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
-    () =
+    ?(jit_threads = 0) ?(jit_queue = 32) () =
   {
     classes = Hashtbl.create 64;
     next_oid = 0;
@@ -27,6 +27,10 @@ let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
         t_cache = Hashtbl.create 64;
         t_order = Queue.create ();
         t_gen = Hashtbl.create 64;
+        t_lock = Mutex.create ();
+        t_jit_threads = max 0 jit_threads;
+        t_jit_queue = max 1 jit_queue;
+        t_bg_recompile = None;
         t_compiles = 0;
         t_cache_hits = 0;
         t_cache_misses = 0;
@@ -81,11 +85,17 @@ let capture_output rt f =
       (Buffer.contents b, v))
 
 (* Compiled functions are exposed to bytecode as objects of the builtin class
-   CompiledFn, whose single field holds an index into [rt.compiled]. *)
+   CompiledFn, whose single field holds an index into [rt.compiled].
+   Guarded by the tiering lock: a background JIT worker evaluating a
+   [freeze] thunk can register compiled functions concurrently with the
+   mutator. *)
 let register_compiled rt fn =
+  let l = rt.tiering.t_lock in
+  Mutex.lock l;
   let id = rt.next_compiled in
   rt.next_compiled <- id + 1;
   Hashtbl.replace rt.compiled id fn;
+  Mutex.unlock l;
   id
 
 let compiled_body rt id =
@@ -128,11 +138,29 @@ let find_method_by_id rt mid : meth option =
     rt.classes;
   !found
 
-let tier_gen rt mid =
+(* The tiering structures (cache table, FIFO order, generation stamps) are
+   shared between the mutator and background JIT worker domains, so every
+   structural access goes through [t_lock].  The per-call dispatch
+   [tiered_fn] never touches them — it reads only [m.mtier]. *)
+let with_tier_lock rt f =
+  let l = rt.tiering.t_lock in
+  Mutex.lock l;
+  match f () with
+  | v ->
+    Mutex.unlock l;
+    v
+  | exception e ->
+    Mutex.unlock l;
+    raise e
+
+let tier_gen_unlocked rt mid =
   match Hashtbl.find_opt rt.tiering.t_gen mid with Some g -> g | None -> 0
 
-(* Evict the oldest resident entry (FIFO).  Queue entries may be stale
-   (invalidated or re-installed methods); skip until a live one is found. *)
+let tier_gen rt mid = with_tier_lock rt (fun () -> tier_gen_unlocked rt mid)
+
+(* Evict the oldest resident entry (FIFO; caller holds [t_lock]).  Queue
+   entries may be stale (invalidated or re-installed methods); skip until a
+   live one is found. *)
 let rec tier_evict rt =
   let t = rt.tiering in
   match Queue.take_opt t.t_order with
@@ -151,9 +179,9 @@ let rec tier_evict rt =
         Obs.emit
           (Obs.Cache_evict { meth = meth_label e.ce_meth; mid = e.ce_meth.mid }))
 
-let tier_install rt (m : meth) fn =
+let tier_install_unlocked rt (m : meth) fn =
   let t = rt.tiering in
-  let entry = { ce_meth = m; ce_fn = fn; ce_gen = tier_gen rt m.mid } in
+  let entry = { ce_meth = m; ce_fn = fn; ce_gen = tier_gen_unlocked rt m.mid } in
   if
     (not (Hashtbl.mem t.t_cache m.mid))
     && Hashtbl.length t.t_cache >= t.t_cache_size
@@ -165,18 +193,35 @@ let tier_install rt (m : meth) fn =
     Obs.emit
       (Obs.Cache_install { meth = meth_label m; mid = m.mid; gen = entry.ce_gen })
 
+let tier_install rt m fn =
+  with_tier_lock rt (fun () -> tier_install_unlocked rt m fn)
+
+(* The atomic-publish primitive of the background JIT: install [fn] only if
+   the method's generation still equals [gen] (the stamp read when the
+   worker started compiling).  An invalidation that raced the compile bumped
+   the generation, so the stale entry point is discarded and the caller
+   decides whether to requeue.  Returns whether the install happened. *)
+let tier_install_if_current rt (m : meth) ~gen fn =
+  with_tier_lock rt (fun () ->
+      if tier_gen_unlocked rt m.mid = gen then begin
+        tier_install_unlocked rt m fn;
+        true
+      end
+      else false)
+
 (* Drop the installed code for [m] and bump its generation stamp, so that
    stale entries can never be re-activated (the [Lancet.stable] recompile
    path and explicit invalidation both land here). *)
 let tier_invalidate rt (m : meth) =
-  let t = rt.tiering in
-  Hashtbl.replace t.t_gen m.mid (tier_gen rt m.mid + 1);
-  Hashtbl.remove t.t_cache m.mid;
-  (match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ());
-  if !Obs.enabled then
-    Obs.emit
-      (Obs.Cache_invalidate
-         { meth = meth_label m; mid = m.mid; gen = tier_gen rt m.mid })
+  with_tier_lock rt (fun () ->
+      let t = rt.tiering in
+      Hashtbl.replace t.t_gen m.mid (tier_gen_unlocked rt m.mid + 1);
+      Hashtbl.remove t.t_cache m.mid;
+      (match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ());
+      if !Obs.enabled then
+        Obs.emit
+          (Obs.Cache_invalidate
+             { meth = meth_label m; mid = m.mid; gen = tier_gen_unlocked rt m.mid }))
 
 (* Promote a hot method through the installed [jit_hook]; a hook failure
    (or absence of a result) blacklists the method so we never retry. *)
@@ -198,10 +243,15 @@ let tier_promote rt (m : meth) : (value array -> value) option =
        built — [Tiering.compile_method_dyn] — so initial compiles and
        on-exit recompiles use the same accounting path. *)
     match hook rt m with
-    | Some fn ->
+    | Jit_compiled fn ->
       tier_install rt m fn;
       Some fn
-    | None ->
+    | Jit_pending ->
+      (* queued on the background compile queue: the worker publishes into
+         the cache when done; meanwhile the interpreter keeps running the
+         method at tier 0 (the hook owns [mtier] from here) *)
+      None
+    | Jit_declined ->
       m.mtier <- Tier_blacklisted;
       None
     | exception _ ->

@@ -8,6 +8,8 @@ val create :
   ?tiering:bool ->
   ?tier_threshold:int ->
   ?tier_cache_size:int ->
+  ?jit_threads:int ->
+  ?jit_queue:int ->
   unit ->
   runtime
 (** A fresh runtime with no classes; see {!Natives.boot} for one with the
@@ -15,7 +17,12 @@ val create :
     promotion (off by default; it only takes effect once a [jit_hook] is
     installed, e.g. by [Lancet.Api.install]); [tier_threshold] is the
     combined invocation + back-edge count that triggers compilation and
-    [tier_cache_size] bounds the number of resident compiled methods. *)
+    [tier_cache_size] bounds the number of resident compiled methods.
+    [jit_threads] is the number of background JIT worker domains the
+    [Bgjit] subsystem should run (0, the default, keeps compilation
+    synchronous and deterministic) and [jit_queue] bounds its compile
+    queue; the runtime only records these knobs — [Bgjit.create] reads
+    them. *)
 
 val alloc : runtime -> cls -> obj
 (** Allocate an instance with all fields [Null]. *)
@@ -72,12 +79,20 @@ val tier_gen : runtime -> int -> int
 val tier_install : runtime -> meth -> (value array -> value) -> unit
 (** Install a compiled entry point for [m] at its current generation. *)
 
+val tier_install_if_current :
+  runtime -> meth -> gen:int -> (value array -> value) -> bool
+(** Atomic publish for background compilation: install the entry point only
+    if [m]'s generation still equals [gen] (the stamp read when the compile
+    started).  Returns [false] — and installs nothing — when an invalidation
+    raced the compile and bumped the generation. *)
+
 val tier_invalidate : runtime -> meth -> unit
 (** Drop [m]'s installed code and bump its generation stamp. *)
 
 val tier_promote : runtime -> meth -> (value array -> value) option
 (** Compile [m] through the installed [jit_hook] and install the result;
-    [None] (or a raising hook) blacklists the method. *)
+    [Jit_declined] (or a raising hook) blacklists the method, [Jit_pending]
+    leaves it interpreted until a background worker installs the code. *)
 
 val tiered_fn : runtime -> meth -> (value array -> value) option
 (** Per-call tier dispatch: the installed compiled entry point, if any,

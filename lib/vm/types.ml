@@ -63,9 +63,21 @@ and meth = {
 
 and tier_state =
   | Tier_cold (* interpreted; eligible for promotion once hot *)
-  | Tier_compiling (* promotion in flight: blocks re-entrant compiles *)
+  | Tier_compiling
+    (* promotion in flight — compiling synchronously on the mutator, or
+       queued/being compiled on a background JIT worker; blocks re-entrant
+       promotion either way *)
   | Tier_compiled of (value array -> value) (* tier-1 entry point *)
   | Tier_blacklisted (* compilation failed; stay in the interpreter *)
+
+(* What a [jit_hook] did with a hot method.  [Jit_pending] is the background
+   compilation answer: the request is queued, the interpreter keeps running
+   the method at tier 0 and the worker publishes the entry point into the
+   code cache when it is ready. *)
+and jit_result =
+  | Jit_compiled of (value array -> value) (* compiled now: install and call *)
+  | Jit_pending (* queued for background compilation; stay on tier 0 *)
+  | Jit_declined (* compilation failed or refused: blacklist the method *)
 
 and code =
   | Bytecode of instr array
@@ -133,16 +145,22 @@ and runtime = {
   mutable next_compiled : int;
   mutable compile_hook : (runtime -> value -> value) option;
     (* installed by Lancet: implements the [Lancet.compile] native *)
-  mutable jit_hook : (runtime -> meth -> (value array -> value) option) option;
+  mutable jit_hook : (runtime -> meth -> jit_result) option;
     (* installed by Lancet: compiles a hot bytecode method for the tiered
-       execution engine; [None] result blacklists the method *)
+       execution engine, either synchronously ([Jit_compiled]) or by
+       enqueueing it for a background JIT worker ([Jit_pending]);
+       [Jit_declined] blacklists the method *)
   mutable interp_steps : int; (* instruction counter, for tests/benches *)
   tiering : tiering;
 }
 
 (* Tiered execution: knobs, the runtime code cache and its statistics.
    The cache maps method id -> installed entry; a per-method generation
-   stamp lets [stable]-style recompiles invalidate cleanly. *)
+   stamp lets [stable]-style recompiles invalidate cleanly.  With background
+   compilation enabled, installs arrive from JIT worker domains while the
+   mutator invalidates and evicts, so the cache structures are guarded by
+   [t_lock]; the per-call dispatch ([Runtime.tiered_fn]) stays lock-free by
+   reading only the word-sized [mtier] field. *)
 and tiering = {
   mutable t_enabled : bool;
   mutable t_threshold : int; (* promote when mcalls + mbackedges reach this *)
@@ -150,6 +168,12 @@ and tiering = {
   t_cache : (int, cache_entry) Hashtbl.t; (* method id -> entry *)
   t_order : int Queue.t; (* FIFO installation order, drives eviction *)
   t_gen : (int, int) Hashtbl.t; (* method id -> current generation *)
+  t_lock : Mutex.t; (* guards cache/order/gen across mutator and workers *)
+  mutable t_jit_threads : int; (* background JIT worker domains; 0 = sync *)
+  mutable t_jit_queue : int; (* bound on the background compile queue *)
+  mutable t_bg_recompile : (meth -> unit) option;
+    (* installed by the background JIT: route deopt-triggered recompiles
+       through the compile queue instead of rebuilding on the mutator *)
   mutable t_compiles : int;
   mutable t_cache_hits : int;
   mutable t_cache_misses : int;

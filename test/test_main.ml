@@ -6,6 +6,7 @@ let () =
       ("mini", Test_mini.suite);
       ("lancet", Test_lancet.suite);
       ("tiering", Test_tiering.suite);
+      ("bgjit", Test_bgjit.suite);
       ("obs", Test_obs.suite);
       ("provenance", Test_provenance.suite);
       ("csv", Test_csv.suite);

@@ -221,7 +221,7 @@ let test_blacklist () =
   let rt =
     Vm.Natives.boot ~tiering:true ~tier_threshold:2 ()
   in
-  rt.jit_hook <- Some (fun _ _ -> None);
+  rt.jit_hook <- Some (fun _ _ -> Vm.Types.Jit_declined);
   let p = Mini.Front.load rt hot_src in
   let plain = Vm.Natives.boot () in
   let pp = Mini.Front.load plain hot_src in
