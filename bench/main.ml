@@ -6,7 +6,7 @@
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
                           table2-namescore|ablate|micro|tiered|obs|profile|
-                          bgjit|check|all]
+                          bgjit|dispatch|check|all]
 
    [tiered] compares the pure interpreter against the tiered execution
    engine (hotness-driven method JIT) and writes BENCH_tiered.json (with
@@ -757,6 +757,296 @@ let profile_bench () =
   pr "\nwrote BENCH_profile.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Dispatch: interpreter inline caches and speculative devirtualization *)
+
+(* A hierarchy shaped like real OO code, so the baseline vtable walk has
+   representative cost: Disp0 defines [tag] (returning a per-object field,
+   so checksums are meaningful) under a 15-deep chain of subclasses each
+   carrying a dozen unrelated methods (real classes are not empty), and
+   the benchmark receivers are leaves below that — every unmemoized
+   resolve walks ~17 populated method tables.  Returns the root class and
+   one receiver per leaf class, with distinct field values. *)
+let dispatch_setup rt =
+  let root =
+    Vm.Classfile.declare_class rt ~name:"Disp0" ~fields:[ ("v", false) ] ()
+  in
+  let fv = Vm.Classfile.field root "v" in
+  (* tag() = v * 31 + 7: a field load plus a little arithmetic, so the
+     callee has representative (if modest) weight — against an empty
+     callee no dispatch mechanism amortizes *)
+  ignore
+    (Vm.Assembler.define_method rt root ~name:"tag" ~nargs:0 (fun b ->
+         Vm.Assembler.emit b (Load 0);
+         Vm.Assembler.emit b (Getfield fv);
+         Vm.Assembler.emit b (Const (Int 31));
+         Vm.Assembler.emit b (Iop Mul);
+         Vm.Assembler.emit b (Const (Int 7));
+         Vm.Assembler.emit b (Iop Add);
+         Vm.Assembler.emit b Retv));
+  let pad cls =
+    for j = 0 to 11 do
+      ignore
+        (Vm.Classfile.add_method rt cls
+           ~name:(Printf.sprintf "pad%d" j)
+           ~nargs:0
+           (Bytecode [| Const (Int j); Retv |]))
+    done
+  in
+  pad root;
+  let prev = ref "Disp0" in
+  for i = 1 to 15 do
+    let name = Printf.sprintf "Disp%d" i in
+    let c = Vm.Classfile.declare_class rt ~name ~super:!prev ~fields:[] () in
+    pad c;
+    prev := name
+  done;
+  let leaves =
+    Array.init 6 (fun i ->
+        Vm.Classfile.declare_class rt
+          ~name:(Printf.sprintf "DispLeaf%d" i)
+          ~super:!prev ~fields:[] ())
+  in
+  let recv i cls =
+    let o = Vm.Runtime.alloc rt cls in
+    Vm.Runtime.set_field o fv (Int (i + 1));
+    Obj o
+  in
+  (root, Array.mapi recv leaves)
+
+(* run(arr, n): sum arr[i mod len].tag() over n iterations — one
+   invokevirtual site in a tight bytecode loop, so dispatch cost is the
+   signal, not call-in overhead. *)
+let dispatch_driver ?hint rt =
+  let drv = Vm.Classfile.declare_class rt ~name:"DispDrv" ~fields:[] () in
+  Vm.Assembler.define_method rt drv ~name:"run" ~static:true ~nargs:2 (fun b ->
+      let open Vm.Assembler in
+      let i = local b and acc = local b and len = local b in
+      emit b (Load 0);
+      emit b Alen;
+      emit b (Store len);
+      emit b (Const (Int 0));
+      emit b (Store i);
+      emit b (Const (Int 0));
+      emit b (Store acc);
+      let loop = new_label b and stop = new_label b in
+      place b loop;
+      emit b (Load i);
+      emit b (Load 1);
+      if_ b Ge stop;
+      emit b (Load 0);
+      emit b (Load i);
+      emit b (Load len);
+      emit b (Iop Rem);
+      emit b Aload;
+      emit b (Invoke (Virtual ("tag", 0, hint)));
+      emit b (Load acc);
+      emit b (Iop Add);
+      emit b (Store acc);
+      emit b (Load i);
+      emit b (Const (Int 1));
+      emit b (Iop Add);
+      emit b (Store i);
+      goto b loop;
+      place b stop;
+      emit b (Load acc);
+      emit b Retv)
+
+(* the checksum the driver must produce: receiver k carries field k+1 and
+   tag() returns v * 31 + 7 *)
+let dispatch_expect ~nrecv ~iters =
+  let s = ref 0 in
+  for i = 0 to iters - 1 do
+    s := !s + ((((i mod nrecv) + 1) * 31) + 7)
+  done;
+  !s
+
+(* One interpreter configuration on a fresh runtime.  [ic = false] is the
+   pre-feedback baseline: no quickening AND no CHA memoization (both are
+   this layer), so every dispatch is the full superclass chain walk.
+   Returns the runtime, the checksum of one (warmup) run, and a thunk that
+   runs the workload once more — the caller times it. *)
+let dispatch_interp_make ~ic ~nrecv ~iters =
+  let rt = Vm.Natives.boot () in
+  if not ic then rt.ic_enabled <- false;
+  let _, recvs = dispatch_setup rt in
+  let driver = dispatch_driver rt in
+  let arr = Arr (Array.sub recvs 0 nrecv) in
+  let run () =
+    (* the CHA memo is a global flag: pin it to this configuration for the
+       duration of the run (the no-ic runtime never memoizes, so flipping
+       the flag per run keeps its vtables pristine) *)
+    let old_memo = !Vm.Classfile.cha_memo in
+    Vm.Classfile.cha_memo := ic;
+    Fun.protect
+      ~finally:(fun () -> Vm.Classfile.cha_memo := old_memo)
+      (fun () -> Vm.Value.to_int (Vm.Interp.call rt driver [| arr; Int iters |]))
+  in
+  (* warmup quickens the site (when enabled) before any timing *)
+  let v = run () in
+  (rt, v, run)
+
+(* One feedback-directed compile of the driver.  [`Guarded]: mono profile,
+   no CHA help -> class-id guard + direct call with a deopt side exit.
+   [`Cha]: static hint + no overrides -> unguarded direct call.  [`Poly]:
+   3-entry dispatch chain.  [`Generic]: megamorphic profile -> residual
+   generic dispatch.  Returns the checksum, a run thunk for timing and the
+   compile's devirtualization deps (empty iff nothing was speculated). *)
+let dispatch_compiled_make ~mode ~iters =
+  let rt = Lancet.Api.boot () in
+  let root, recvs = dispatch_setup rt in
+  let hint = match mode with `Cha -> Some root | _ -> None in
+  let driver = dispatch_driver ?hint rt in
+  let nrecv = match mode with `Guarded | `Cha -> 1 | `Poly -> 3 | `Generic -> 6 in
+  let arr = Arr (Array.sub recvs 0 nrecv) in
+  (* train the interpreter's inline cache: it is the profile the compiler
+     speculates on ([`Generic] trains past poly_limit, leaving mega) *)
+  ignore (Vm.Interp.call rt driver [| arr; Int (50 * nrecv) |]);
+  match Lancet.Tiering.compile rt driver with
+  | None -> failwith "dispatch bench: compile declined"
+  | Some (fn, deps, _) ->
+    let v = fn [| arr; Int iters |] in
+    (Vm.Value.to_int v, (fun () -> ignore (fn [| arr; Int iters |])), deps)
+
+(* One timed execution.  Configurations under comparison are timed in
+   interleaved rounds with the per-configuration minimum kept: round-robin
+   cancels machine drift between measurement windows, and the minimum is
+   the standard noise-robust statistic for a fixed-work microbenchmark. *)
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let dispatch_rounds = 5
+
+let dispatch_bench () =
+  header "Dispatch: inline caches (interpreter) and devirtualization (JIT)";
+  let iters = 300_000 in
+  let shapes = [ ("mono", 1); ("poly", 3); ("mega", 6) ] in
+  pr "\n-- interpreter, %d calls through one site (ms; ic off = chain walk) --\n"
+    iters;
+  let interp =
+    List.map
+      (fun (name, nrecv) ->
+        let expect = dispatch_expect ~nrecv ~iters in
+        let _, v_ic, run_ic = dispatch_interp_make ~ic:true ~nrecv ~iters in
+        let _, v_no, run_no = dispatch_interp_make ~ic:false ~nrecv ~iters in
+        if v_ic <> expect || v_no <> expect then
+          failwith ("dispatch bench: interpreter checksum mismatch at " ^ name);
+        let t_ic = ref infinity and t_no = ref infinity in
+        for _ = 1 to dispatch_rounds do
+          t_ic := min !t_ic (time_once run_ic);
+          t_no := min !t_no (time_once run_no)
+        done;
+        let t_ic = !t_ic and t_no = !t_no in
+        pr "%-8s ic %8.1f   no-ic %8.1f   speedup %5.2fx\n" name
+          (t_ic *. 1000.) (t_no *. 1000.) (t_no /. t_ic);
+        (name, t_ic, t_no))
+      shapes
+  in
+  pr "\n-- compiled, same site (ms) --\n";
+  let configs =
+    List.map
+      (fun (name, mode, nrecv) ->
+        let v, run, deps = dispatch_compiled_make ~mode ~iters in
+        if v <> dispatch_expect ~nrecv ~iters then
+          failwith ("dispatch bench: compiled checksum mismatch at " ^ name);
+        (name, run, deps, ref infinity))
+      [
+        ("guarded-direct (mono)", `Guarded, 1);
+        ("cha-direct (mono)", `Cha, 1);
+        ("dispatch-chain (poly)", `Poly, 3);
+        ("generic (mega)", `Generic, 6);
+      ]
+  in
+  for _ = 1 to dispatch_rounds do
+    List.iter (fun (_, run, _, best) -> best := min !best (time_once run)) configs
+  done;
+  let compiled =
+    List.map
+      (fun (name, _, deps, best) ->
+        pr "%-24s %8.1f   (deps: %s)\n" name (!best *. 1000.)
+          (if deps = [] then "none" else String.concat "," deps);
+        (name, !best))
+      configs
+  in
+  let tof n = List.assoc n compiled in
+  let guarded = tof "guarded-direct (mono)" and cha = tof "cha-direct (mono)" in
+  pr "\nguarded vs unguarded CHA on the mono site: %.2fx\n" (cha /. guarded);
+  let _, poly_ic, poly_no =
+    List.find (fun (n, _, _) -> n = "poly") interp
+  in
+  pr "interpreter poly speedup (acceptance floor 1.5x): %.2fx\n"
+    (poly_no /. poly_ic);
+  if poly_no /. poly_ic < 1.5 then
+    pr "WARNING: poly speedup below the 1.5x acceptance floor\n";
+  if cha /. guarded < 0.9 then
+    pr "WARNING: guarded direct call more than 10%% behind the CHA baseline\n";
+  let oc = open_out "BENCH_dispatch.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"iters\": %d,\n  \"interp\": {\n%s\n  },\n  \"compiled\": \
+        {\n%s,\n    \"guarded_vs_cha\": %.3f\n  }\n}\n"
+       iters
+       (String.concat ",\n"
+          (List.map
+             (fun (n, t_ic, t_no) ->
+               Printf.sprintf
+                 "    %S: {\"ic_ms\": %.3f, \"no_ic_ms\": %.3f, \"speedup\": \
+                  %.3f}"
+                 n (t_ic *. 1000.) (t_no *. 1000.) (t_no /. t_ic))
+             interp))
+       (String.concat ",\n"
+          (List.map
+             (fun (n, t) -> Printf.sprintf "    %S: %.3f" n (t *. 1000.))
+             compiled))
+       (cha /. guarded));
+  close_out oc;
+  pr "\nwrote BENCH_dispatch.json\n"
+
+(* Correctness gate for the dispatch layer (part of [check]): all
+   interpreter and compiled configurations must agree on the checksum, the
+   trained sites must land in the expected cache states, and the mono
+   compiles must actually speculate (non-empty deps).  No timing
+   assertions, so it cannot flake. *)
+let dispatch_check () =
+  let iters = 20_000 in
+  List.iter
+    (fun (name, nrecv) ->
+      let expect = dispatch_expect ~nrecv ~iters in
+      let rt_ic, v_ic, _ = dispatch_interp_make ~ic:true ~nrecv ~iters in
+      let _, v_no, _ = dispatch_interp_make ~ic:false ~nrecv ~iters in
+      if v_ic <> expect || v_no <> expect then
+        failwith ("dispatch check: checksum mismatch at " ^ name);
+      let _, _, mono, poly, mega = Vm.Runtime.ic_stats rt_ic in
+      let ok =
+        match name with
+        | "mono" -> mono >= 1
+        | "poly" -> poly >= 1
+        | _ -> mega >= 1
+      in
+      if not ok then
+        failwith
+          (Printf.sprintf
+             "dispatch check: %s site not in expected state (mono=%d poly=%d \
+              mega=%d)"
+             name mono poly mega))
+    [ ("mono", 1); ("poly", 3); ("mega", 6) ];
+  List.iter
+    (fun (name, mode, nrecv, want_deps) ->
+      let v, _, deps = dispatch_compiled_make ~mode ~iters in
+      if v <> dispatch_expect ~nrecv ~iters then
+        failwith ("dispatch check: compiled checksum mismatch at " ^ name);
+      if want_deps && deps = [] then
+        failwith ("dispatch check: " ^ name ^ " compile did not speculate"))
+    [
+      ("guarded", `Guarded, 1, true);
+      ("cha", `Cha, 1, true);
+      ("poly", `Poly, 3, true);
+      ("generic", `Generic, 6, false);
+    ];
+  pr "check dispatch          ok  (ic on/off and all compiled modes agree)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Background JIT: compile-queue promotion vs synchronous promotion     *)
 
 type bgjit_run = {
@@ -956,6 +1246,7 @@ let tier_check () =
     rows;
   trace_smoke ();
   bgjit_check ();
+  dispatch_check ();
   obs_guard ~iters:2_000_000;
   profile_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
@@ -978,6 +1269,7 @@ let () =
   | "obs" -> obs_bench ()
   | "profile" -> profile_bench ()
   | "bgjit" -> bgjit_bench ()
+  | "dispatch" -> dispatch_bench ()
   | "check" -> tier_check ()
   | "all" ->
     table1 ();
@@ -989,7 +1281,8 @@ let () =
     tiered ();
     obs_bench ();
     profile_bench ();
-    bgjit_bench ()
+    bgjit_bench ();
+    dispatch_bench ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);
     exit 1

@@ -46,7 +46,8 @@ type stats = {
 
 type t = {
   rt : runtime;
-  compile : runtime -> meth -> (value array -> value) option;
+  compile : runtime -> meth -> ((value array -> value) * string list * int) option;
+  (* entry point, devirtualization deps, hierarchy epoch at compile start *)
   capacity : int;
   queue : meth Queue.t;
   pending : (int, unit) Hashtbl.t; (* mids queued, not yet picked up *)
@@ -169,8 +170,12 @@ let process t wid (m : meth) =
   let gen = Vm.Runtime.tier_gen t.rt m.mid in
   let outcome =
     match t.compile t.rt m with
-    | Some fn ->
-      if Vm.Runtime.tier_install_if_current t.rt m ~gen fn then `Installed
+    | Some (fn, deps, epoch) ->
+      (* speculative code additionally requires the hierarchy epoch to be
+         unchanged since the compile started; [tier_install_if_current]
+         checks it under the same lock as the generation stamp *)
+      if Vm.Runtime.tier_install_if_current t.rt m ~gen ~epoch ~deps fn then
+        `Installed
       else `Stale
     | None -> `Failed "compiler declined (no entry point)"
     | exception e -> `Failed (Printexc.to_string e)

@@ -32,14 +32,18 @@ val create :
   ?threads:int ->
   ?queue:int ->
   ?log:(string -> unit) ->
-  compile:(runtime -> meth -> (value array -> value) option) ->
+  compile:
+    (runtime -> meth -> ((value array -> value) * string list * int) option) ->
   runtime ->
   t
 (** Spawn a pool of [threads] worker domains (default: the runtime's
     [t_jit_threads] knob, clamped to at least 1) over a queue bounded at
     [queue] requests (default: [t_jit_queue]).  [compile] is the raw
-    compile step — [Lancet.Tiering.compile] in production, a stub in tests.
-    [log] receives blacklist diagnostics (default: stderr). *)
+    compile step — [Lancet.Tiering.compile] in production, a stub in tests —
+    returning the entry point, the devirtualization dependencies the code
+    speculates on, and the hierarchy epoch the compile started from (both
+    checked at install time).  [log] receives blacklist diagnostics
+    (default: stderr). *)
 
 val install : t -> unit
 (** Point the runtime at the pool: replaces [rt.jit_hook] with the

@@ -260,10 +260,11 @@ let install rt =
 (* Boot a runtime with builtins + the Lancet JIT installed.  [tiering]
    enables hotness-driven promotion of interpreted methods (tier 0 -> 1);
    see {!Vm.Runtime.create} for the knobs. *)
-let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue () =
+let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue
+    ?inline_caches () =
   let rt =
     Vm.Natives.boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads
-      ?jit_queue ()
+      ?jit_queue ?inline_caches ()
   in
   install rt;
   rt
@@ -275,9 +276,10 @@ let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue () =
    read its stats); [None] means synchronous compilation, identical to
    [boot].  Callers must shut the pool down before process exit. *)
 let boot_bg ?tiering ?tier_threshold ?tier_cache_size ?(jit_threads = 0)
-    ?jit_queue () =
+    ?jit_queue ?inline_caches () =
   let rt =
-    boot ?tiering ?tier_threshold ?tier_cache_size ~jit_threads ?jit_queue ()
+    boot ?tiering ?tier_threshold ?tier_cache_size ~jit_threads ?jit_queue
+      ?inline_caches ()
   in
   if jit_threads <= 0 then (rt, None)
   else begin

@@ -85,10 +85,15 @@ type options = {
   max_inline_depth : int;
   max_unroll : int;
   max_fixpoint_rounds : int;
+  feedback : bool;
+    (* consume interpreter inline-cache profiles: compile monomorphic
+       virtual sites to guarded direct calls (deopt on guard failure) and
+       polymorphic sites to short dispatch chains *)
 }
 
 let default_options =
-  { name = "lancet"; max_inline_depth = 400; max_unroll = 10_000; max_fixpoint_rounds = 20 }
+  { name = "lancet"; max_inline_depth = 400; max_unroll = 10_000;
+    max_fixpoint_rounds = 20; feedback = false }
 
 type macro_result = Val of rep | Diverge
 
@@ -110,6 +115,10 @@ type ctx = {
   mutable leak_watch : string list ref list; (* taint-leak collectors *)
   mutable evalm_memo : (int, value) Hashtbl.t; (* vid -> materialized value *)
   mutable resets : reset_scope list; (* active resetR delimiters, innermost first *)
+  mutable devirt_deps : string list;
+    (* virtual-call names the graph under construction speculates on
+       (IC feedback or CHA); registered with the runtime at install so
+       [Classfile.add_method] can invalidate the compiled code *)
 }
 
 and macro = ctx -> rep array -> macro_result
@@ -1328,26 +1337,136 @@ and do_invoke ctx inv : [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
   match inv with
   | Static m -> do_call ctx m (pop_args ctx m.mnargs)
   | Special m -> do_call ctx m (pop_args ctx (m.mnargs + 1))
-  | Virtual (name, argc, hint) -> (
-    let args = pop_args ctx (argc + 1) in
-    let recv = args.(0) in
-    match Absval.exact_class (evalA ctx recv) with
-    | Some cls -> (
+  | Virtual (name, argc, hint) -> do_virtual ctx name argc hint None
+  | Virtual_ic site ->
+    do_virtual ctx site.cs_name site.cs_argc site.cs_hint (Some site)
+
+and add_devirt_dep ctx name =
+  if not (List.mem name ctx.devirt_deps) then
+    ctx.devirt_deps <- name :: ctx.devirt_deps
+
+and do_virtual ctx name argc hint site :
+    [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
+  let args = pop_args ctx (argc + 1) in
+  let recv = args.(0) in
+  match Absval.exact_class (evalA ctx recv) with
+  | Some cls -> (
+    match Vm.Classfile.resolve_virtual_opt cls name with
+    | Some m -> do_call ctx m args
+    | None ->
+      Errors.compile_error "class %s has no virtual method %s" cls.cname name)
+  | None -> (
+    (* CHA devirtualization from the front-end's static type hint; the
+       unguarded direct call is protected by a dependency on [name]: a
+       later [add_method] that breaks the analysis invalidates this code *)
+    match hint with
+    | Some cls when Vm.Classfile.no_override_below ctx.rt cls name -> (
       match Vm.Classfile.resolve_virtual_opt cls name with
-      | Some m -> do_call ctx m args
+      | Some m ->
+        add_devirt_dep ctx name;
+        do_call ctx m args
       | None ->
-        Errors.compile_error "class %s has no virtual method %s" cls.cname name)
-    | None -> (
-      (* CHA devirtualization from the front-end's static type hint *)
-      match hint with
-      | Some cls when Vm.Classfile.no_override_below ctx.rt cls name -> (
-        match Vm.Classfile.resolve_virtual_opt cls name with
-        | Some m -> do_call ctx m args
-        | None -> residual_virtual ctx name argc args; `Ok)
-      | _ ->
+        residual_virtual ctx name argc args;
+        `Ok)
+    | _ -> (
+      (* type feedback: speculate on the receiver classes the interpreter's
+         inline cache observed at this site (a single [cs_state] read gives
+         a consistent snapshot even against the mutator) *)
+      let profile =
+        if not ctx.opts.feedback then []
+        else
+          match site with
+          | None -> []
+          | Some s -> (
+            match s.cs_state with
+            | Ic_mono e -> [ (e.ice_cls, e.ice_meth) ]
+            | Ic_poly es ->
+              Array.to_list (Array.map (fun e -> (e.ice_cls, e.ice_meth)) es)
+            | Ic_empty | Ic_mega -> [])
+      in
+      match profile with
+      | [ entry ] ->
+        add_devirt_dep ctx name;
+        do_speculate_mono ctx name args entry
+      | _ :: _ as entries ->
+        add_devirt_dep ctx name;
+        do_dispatch_chain ctx name argc args entries
+      | [] ->
         Errors.warn "devirtualize" "could not devirtualize call to %s" name;
         residual_virtual ctx name argc args;
         `Ok))
+
+(* Monomorphic speculation (the paper's [speculate] shape): compare the
+   receiver's class id against the single observed class and call (and
+   potentially inline) the resolved target directly; the other arm is a
+   deopt side-exit that resumes the interpreter AT the invoke — with the
+   arguments re-pushed — so the interpreter re-dispatches generically and
+   retrains the inline cache. *)
+and do_speculate_mono ctx name args ((cls : cls), (m : meth)) :
+    [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
+  let f = ctx.frame in
+  let invoke_pc = f.sf_pc - 1 (* sf_pc already advanced past the invoke *) in
+  let cid = emit ctx Ir.ClassId [| resolve ctx args.(0) |] Ir.Tint in
+  let cond = icmp_s ctx Eq cid (lift_const ctx (Int cls.cid)) in
+  let snap0 = save ctx in
+  let fall_pc = f.sf_pc in
+  let bt = B.new_block ctx.bld and bf = B.new_block ctx.bld in
+  B.terminate ctx.bld
+    (Ir.Br
+       ( cond,
+         { tblock = bt.bid; targs = [||] },
+         { tblock = bf.bid; targs = [||] } ));
+  (* miss arm: rebuild the frame as of the invoke and exit to tier 0 *)
+  restore ctx { snap0 with s_block = Some bf };
+  f.sf_pc <- invoke_pc;
+  Array.iter (push ctx) args;
+  side_exit ctx ~kind:`Interpret
+    ~tag:(Printf.sprintf "devirt:%s@%s" name cls.cname)
+    ~extra:[];
+  (* hit arm: direct call, eligible for inlining *)
+  restore ctx { snap0 with s_block = Some bt };
+  f.sf_pc <- fall_pc;
+  do_call ctx m args
+
+(* Polymorphic dispatch chain: one class-id compare per observed receiver
+   class with a direct call on each hit, falling through to generic
+   dispatch for receivers outside the profile; the arms merge like an
+   ordinary conditional. *)
+and do_dispatch_chain ctx name argc args entries :
+    [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
+  let cid = emit ctx Ir.ClassId [| resolve ctx args.(0) |] Ir.Tint in
+  let arrivals = ref [] in
+  let arrive () =
+    let v = pop ctx in
+    arrivals := (save ctx, v) :: !arrivals
+  in
+  let rec arm = function
+    | [] ->
+      (* off-profile receiver: generic dispatch, always correct *)
+      residual_virtual ctx name argc args;
+      arrive ()
+    | ((cls : cls), (m : meth)) :: rest ->
+      let cond = icmp_s ctx Eq cid (lift_const ctx (Int cls.cid)) in
+      let snap0 = save ctx in
+      let bt = B.new_block ctx.bld and bf = B.new_block ctx.bld in
+      B.terminate ctx.bld
+        (Ir.Br
+           ( cond,
+             { tblock = bt.bid; targs = [||] },
+             { tblock = bf.bid; targs = [||] } ));
+      restore ctx { snap0 with s_block = Some bt };
+      (match do_call ctx m args with
+      | `Ok -> arrive ()
+      | `Dead | `Done _ -> ());
+      restore ctx { snap0 with s_block = Some bf };
+      arm rest
+  in
+  arm entries;
+  match List.rev !arrivals with
+  | [] -> `Dead
+  | items ->
+    push ctx (merge_flows ctx ~with_slots:true items);
+    `Ok
 
 and do_call ctx (m : meth) args : [ `Ok | `Dead | `Done of [ `Arrived | `Dead ] ] =
   let full = m.mowner.cname ^ "." ^ m.mname in
@@ -1541,6 +1660,7 @@ let make_ctx ?(opts = default_options) rt nparams =
       leak_watch = [];
       evalm_memo = Hashtbl.create 16;
       resets = [];
+      devirt_deps = [];
     }
   in
   (ctx, dummy_meth_frame)
@@ -1554,8 +1674,8 @@ let make_ctx ?(opts = default_options) rt nparams =
    dead-code elimination).  Read by [Tiering] to fill [Compile_end] events. *)
 let last_node_counts = ref (0, 0)
 
-let stage ?(opts = default_options) rt (m : meth) (spec : arg_spec array) :
-    Ir.graph =
+let stage ?(opts = default_options) ?deps rt (m : meth) (spec : arg_spec array)
+    : Ir.graph =
   Obs.span ~cat:"jit" ("stage:" ^ opts.name) (fun () ->
       let ndyn =
         Array.fold_left (fun n s -> match s with Dyn -> n + 1 | _ -> n) 0 spec
@@ -1583,6 +1703,7 @@ let stage ?(opts = default_options) rt (m : meth) (spec : arg_spec array) :
       let before = Ir.node_count g in
       Obs.span ~cat:"jit" "opt:dce" (fun () -> Ir.dead_code_elim g);
       last_node_counts := (before, Ir.node_count g);
+      (match deps with Some r -> r := ctx.devirt_deps | None -> ());
       g)
 
 (* build runtime interpreter frames from side-exit metadata + live values *)

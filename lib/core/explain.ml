@@ -151,6 +151,25 @@ let render ?(timings = true) ?profiler t rt ~src =
         (Printf.sprintf "%s: deopt x%d @pc %d (%s, %s)" d.xd_label d.xd_count
            pc d.xd_tag (kind_word d.xd_kind)))
     deopt_sites;
+  (* inline-cache sites, stable order: by (mid, pc).  State is read live
+     from the runtime (the sites ARE the profile), not replayed from
+     events, so this shows where each site ended up: mono:Cls, poly:{A,B}
+     or mega. *)
+  let ic_sites =
+    Hashtbl.fold (fun k s acc -> (k, s) :: acc) rt.Vm.Types.ic_sites []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun ((mid, pc), (site : Vm.Types.callsite)) ->
+      match Vm.Runtime.find_method_by_id rt mid with
+      | None -> ()
+      | Some m ->
+        add_at (Vm.Runtime.line_at m pc)
+          (Printf.sprintf "%s: inline cache @pc %d %s (hits=%d misses=%d)"
+             (Vm.Runtime.meth_label m) pc
+             (Vm.Inlinecache.state_string site)
+             site.Vm.Types.cs_hits site.Vm.Types.cs_misses))
+    ic_sites;
   (match profiler with
   | None -> ()
   | Some p ->

@@ -27,12 +27,19 @@ module C = Compiler
    included) becomes a graph parameter, so one compilation serves every call
    site.  Specialization still happens inside: constants, virtual objects
    and JIT macros in the method body all fold as usual. *)
-let compile_method_dyn rt (m : meth) : (value array -> value) option =
+let compile_method_dyn rt (m : meth) :
+    ((value array -> value) * string list * int) option =
   let nslots = m.mnargs + if m.mstatic then 0 else 1 in
   let spec = Array.make (max nslots 0) C.Dyn in
   let label = Vm.Runtime.meth_label m in
-  let opts = { C.default_options with C.name = "tier:" ^ label } in
+  let opts =
+    { C.default_options with C.name = "tier:" ^ label; C.feedback = true }
+  in
   let cell = ref (fun _ -> Null) in
+  (* failed speculations at this entry point: a devirt guard that keeps
+     missing means the profile went stale, so drop the code and let the
+     method re-promote with a fresh one *)
+  let devirt_fails = ref 0 in
   (* Execution-time sampling for the installed entry point: the first call
      and every 64th call thereafter flush the accumulated wall time; the
      remainder of a partial batch is flushed by the [Obs.add_flusher] hook
@@ -70,7 +77,11 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
       v
     end
   in
-  let rec build () =
+  let rec build () : string list * int =
+    (* the hierarchy epoch read must precede staging: if [add_method] lands
+       mid-compile the epoch comparison at install time catches it *)
+    let epoch0 = Vm.Runtime.hier_epoch rt in
+    let deps = ref [] in
     let obs = !Obs.enabled in
     if obs then
       Obs.emit
@@ -96,7 +107,7 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
       end
     in
     match
-      let g = C.stage ~opts rt m spec in
+      let g = C.stage ~opts ~deps rt m spec in
       let base = Lms.Closure_backend.default_hooks rt in
       let hooks =
         {
@@ -140,10 +151,36 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
                 match rt.tiering.t_bg_recompile with
                 | Some enqueue -> enqueue m
                 | None -> (
+                  (* the rebuild runs on the mutator, so the hierarchy
+                     cannot shift under it: register deps and install *)
                   match build () with
-                  | () -> Vm.Runtime.tier_install rt m entry
+                  | deps', _ -> Vm.Runtime.tier_install ~deps:deps' rt m entry
                   | exception _ -> m.mtier <- Tier_blacklisted))
-              | `Interpret -> ());
+              | `Interpret ->
+                let tag = se.Lms.Ir.se_tag in
+                if
+                  String.length tag > 7 && String.equal (String.sub tag 0 7)
+                    "devirt:"
+                then begin
+                  if !Obs.enabled then
+                    Obs.emit
+                      (Obs.Devirt_guard_fail
+                         {
+                           meth = label;
+                           mid = m.mid;
+                           pc =
+                             (match se.Lms.Ir.se_frames with
+                             | fd :: _ -> fd.Lms.Ir.fd_pc
+                             | [] -> -1);
+                           target =
+                             String.sub tag 7 (String.length tag - 7);
+                         });
+                  incr devirt_fails;
+                  (* repeated misses: speculation is now slower than generic
+                     dispatch, so invalidate; the hot method re-promotes
+                     against the retrained inline cache *)
+                  if !devirt_fails >= 2 then Vm.Runtime.tier_invalidate rt m
+                end);
               Vm.Interp.resume rt (C.reconstruct_frames se vals));
         }
       in
@@ -156,31 +193,49 @@ let compile_method_dyn rt (m : meth) : (value array -> value) option =
     with
     | fn, backend, fallback ->
       cell := fn;
+      devirt_fails := 0;
       (* the one place compiles are counted: initial promotions and on-exit
          recompiles share this path (satellite fix for the old asymmetry) *)
       rt.tiering.t_compiles <- rt.tiering.t_compiles + 1;
-      emit_end backend fallback
+      emit_end backend fallback;
+      (!deps, epoch0)
     | exception e ->
       emit_end "failed" None;
       raise e
   in
   match build () with
-  | () -> Some entry
+  | deps, epoch0 -> Some (entry, deps, epoch0)
   | exception _ -> None (* compile failure: the caller blacklists *)
 
 (* The raw compile step, shared by the synchronous hook below and the
    background JIT workers ([Bgjit] injects it as the pool's compile
    function): stage + optimize + backend, no installation, no tier-state
-   bookkeeping.  [None] means the method cannot be compiled. *)
-let compile rt (m : meth) : (value array -> value) option =
+   bookkeeping.  Returns the entry point together with the devirtualization
+   dependencies (method names the code speculates on) and the hierarchy
+   epoch the compile started from, so installers can reject code built
+   against a hierarchy that changed mid-compile.  [None] means the method
+   cannot be compiled. *)
+let compile rt (m : meth) :
+    ((value array -> value) * string list * int) option =
   match m.mcode with
   | Native _ -> None
   | Bytecode _ -> compile_method_dyn rt m
 
 let jit_hook rt (m : meth) : jit_result =
-  match compile rt m with
-  | Some fn -> Jit_compiled fn
-  | None -> Jit_declined
+  (* speculative code built across a hierarchy change must not be
+     installed; retry against the new epoch a few times, then decline *)
+  let rec go attempts =
+    match compile rt m with
+    | None -> Jit_declined
+    | Some (fn, deps, epoch0) ->
+      if deps = [] || Vm.Runtime.hier_epoch rt = epoch0 then begin
+        Vm.Runtime.devirt_register rt deps m;
+        Jit_compiled fn
+      end
+      else if attempts > 1 then go (attempts - 1)
+      else Jit_declined
+  in
+  go 3
 
 (* Install the tier-1 compiler; promotion still requires the runtime to have
    tiering enabled ([Runtime.create ~tiering:true] or [rt.tiering.t_enabled]). *)

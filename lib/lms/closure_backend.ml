@@ -95,8 +95,91 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
       fun r -> r.(i)
   in
   let getters args = Array.map getter args in
+  (* Branch-condition fusion: a comparison whose only consumer is its own
+     block's Br — and a ClassId feeding such a comparison — is compiled
+     into the branch closure itself instead of becoming a step.  This
+     avoids the intermediate slot write and the boxing of the bool (and of
+     the class id), which matters for devirtualization guards: the guard
+     becomes a bare compare-and-branch on top of the unguarded direct
+     call.  Restricted to same-block single-use nodes so evaluation order
+     of the pure condition only moves within its original block. *)
+  let uses = Hashtbl.create 64 in
+  let defined_in = Hashtbl.create 64 in
+  let add_use s =
+    Hashtbl.replace uses s (1 + Option.value ~default:0 (Hashtbl.find_opt uses s))
+  in
+  let add_target (t : target) = Array.iter add_use t.targs in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n ->
+          Hashtbl.replace defined_in n.id b.bid;
+          Array.iter add_use n.args)
+        (body_in_order b);
+      match b.term with
+      | Ir.Ret s -> add_use s
+      | Jump t -> add_target t
+      | Br (c, t1, t2) ->
+        add_use c;
+        add_target t1;
+        add_target t2
+      | Exit se ->
+        List.iter
+          (fun fd ->
+            Array.iter add_use fd.fd_locals;
+            Array.iter add_use fd.fd_stack)
+          se.se_frames
+      | Unreachable _ -> ())
+    blocks;
+  let fused = Hashtbl.create 8 in
+  let fused_conds : (int, env -> bool) Hashtbl.t = Hashtbl.create 8 in
+  let fusable bid s =
+    Hashtbl.find_opt uses s = Some 1 && Hashtbl.find_opt defined_in s = Some bid
+  in
+  List.iter
+    (fun b ->
+      match b.term with
+      | Br (c, _, _) when fusable b.bid c -> (
+        let n = node g c in
+        let int_arg s =
+          let m = node g s in
+          match m.op with
+          | ClassId when fusable b.bid s ->
+            let a = getter m.args.(0) in
+            Hashtbl.replace fused s ();
+            fun r ->
+              (match a r with
+              | Obj o -> o.Vm.Types.ocls.Vm.Types.cid
+              | _ -> -1)
+          | _ ->
+            let gtr = getter s in
+            fun r -> Vm.Value.to_int (gtr r)
+        in
+        match n.op with
+        | Icmp cc ->
+          let a = int_arg n.args.(0) and b' = int_arg n.args.(1) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid (fun r ->
+              Vm.Value.cond_apply cc (a r) (b' r))
+        | Fcmp cc ->
+          let a = getter n.args.(0) and b' = getter n.args.(1) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid (fun r ->
+              Vm.Value.fcond_apply cc
+                (Vm.Value.to_float (a r))
+                (Vm.Value.to_float (b' r)))
+        | IsNull ->
+          let a = getter n.args.(0) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid (fun r ->
+              match a r with Null -> true | _ -> false)
+        | _ -> ())
+      | _ -> ())
+    blocks;
   (* one closure per node *)
   let compile_node n : (env -> unit) option =
+    if Hashtbl.mem fused n.id then None
+    else
     match n.op with
     | Konst _ | Param _ | Bparam -> None
     | Iop op ->
@@ -156,6 +239,13 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
       Some
         (fun r ->
           r.(d) <- Vm.Value.of_bool (match a r with Null -> true | _ -> false))
+    | ClassId ->
+      let a = getter n.args.(0) in
+      let d = slot_of n.id in
+      Some
+        (fun r ->
+          r.(d) <-
+            Int (match a r with Obj o -> o.Vm.Types.ocls.Vm.Types.cid | _ -> -1))
     | Getfield f ->
       let a = getter n.args.(0) in
       let d = slot_of n.id and i = f.fidx in
@@ -287,32 +377,41 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
     let handler = hooks.on_exit in
     fun r -> handler se (Array.map (fun gtr -> gtr r) gs)
   in
-  let compile_term term : env -> int =
-    match term with
+  (* Forward control transfers are threaded: the terminator calls the
+     successor block's closure directly instead of bouncing through the
+     trampoline loop.  Backward (loop) edges still return an index to the
+     trampoline, so recursion depth is bounded by the block count.  [-1]
+     means "function done" and unwinds any nested forward calls. *)
+  let nblocks = List.length blocks in
+  let compiled : (env -> int) array = Array.make nblocks (fun _ -> -1) in
+  let compile_term (b : block) (my_idx : int) : env -> int =
+    let arm (t : target) : env -> int =
+      let cp = compile_jump t in
+      let nxt = idx_of t.tblock in
+      if nxt > my_idx then fun r ->
+        cp r;
+        compiled.(nxt) r
+      else fun r ->
+        cp r;
+        nxt
+    in
+    match b.term with
     | Ir.Ret s ->
       let v = getter s in
       fun r ->
         r.(ret_slot) <- v r;
         -1
-    | Jump t ->
-      let cp = compile_jump t in
-      let nxt = idx_of t.tblock in
-      fun r ->
-        cp r;
-        nxt
+    | Jump t -> arm t
     | Br (c, t1, t2) ->
-      let cv = getter c in
-      let cp1 = compile_jump t1 and cp2 = compile_jump t2 in
-      let n1 = idx_of t1.tblock and n2 = idx_of t2.tblock in
-      fun r ->
-        if Vm.Value.truthy (cv r) then begin
-          cp1 r;
-          n1
-        end
-        else begin
-          cp2 r;
-          n2
-        end
+      let cond =
+        match Hashtbl.find_opt fused_conds b.bid with
+        | Some f -> f
+        | None ->
+          let cv = getter c in
+          fun r -> Vm.Value.truthy (cv r)
+      in
+      let a1 = arm t1 and a2 = arm t2 in
+      fun r -> if cond r then a1 r else a2 r
     | Exit se ->
       let run = compile_exit se in
       fun r ->
@@ -320,17 +419,28 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         -1
     | Unreachable msg -> fun _ -> vm_error "reached unreachable block: %s" msg
   in
-  let compiled_blocks =
-    Array.of_list
-      (List.map
-         (fun b ->
-           let steps =
-             body_in_order b |> List.filter_map compile_node |> Array.of_list
-           in
-           let term = compile_term b.term in
-           (steps, term))
-         blocks)
-  in
+  List.iteri
+    (fun i b ->
+      let steps =
+        body_in_order b |> List.filter_map compile_node |> Array.of_list
+      in
+      let term = compile_term b i in
+      compiled.(i) <-
+        (match Array.length steps with
+        | 0 -> term
+        | 1 ->
+          let s0 = steps.(0) in
+          fun r ->
+            s0 r;
+            term r
+        | len ->
+          let last = len - 1 in
+          fun r ->
+            for j = 0 to last do
+              steps.(j) r
+            done;
+            term r))
+    blocks;
   let entry_idx = idx_of g.entry in
   let nparams = g.nparams in
   (* Register arrays are pooled: SSA dominance guarantees every slot read on
@@ -353,11 +463,7 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         Array.blit args 0 r 0 nparams;
         let bid = ref entry_idx in
         while !bid >= 0 do
-          let steps, term = compiled_blocks.(!bid) in
-          for i = 0 to Array.length steps - 1 do
-            steps.(i) r
-          done;
-          bid := term r
+          bid := compiled.(!bid) r
         done;
         r.(ret_slot))
 

@@ -24,6 +24,7 @@ type op =
   | Icmp of Vm.Types.cond (* int compare producing a bool (0/1) *)
   | Fcmp of Vm.Types.cond
   | IsNull
+  | ClassId (* class id of an object receiver; -1 for null/non-objects *)
   | Getfield of Vm.Types.field
   | Putfield of Vm.Types.field
   | Getglobal of int
@@ -144,7 +145,7 @@ let add_block_param g b ty =
    nodes are safe to hash-cons and to delete when unused. *)
 let op_effectful = function
   | Konst _ | Param _ | Bparam | Iop _ | Ineg | Fop _ | Fneg | I2f | F2i
-  | Icmp _ | Fcmp _ | IsNull | Alen ->
+  | Icmp _ | Fcmp _ | IsNull | ClassId | Alen ->
     false
   | Getfield f -> not f.Vm.Types.ffinal
   | Getglobal _ -> true
@@ -224,6 +225,7 @@ let op_key op args =
   | Icmp c -> add ("icmp" ^ string_of_int (Hashtbl.hash c))
   | Fcmp c -> add ("fcmp" ^ string_of_int (Hashtbl.hash c))
   | IsNull -> add "isnull"
+  | ClassId -> add "clsid"
   | Getfield f ->
     add ("gf" ^ f.Vm.Types.fowner ^ "." ^ string_of_int f.Vm.Types.fidx)
   | Alen -> add "alen"

@@ -116,6 +116,7 @@ let emit_function ?(name = "kernel") (g : graph) : string =
     | Icmp c | Fcmp c ->
       Some (Printf.sprintf "(%s %s %s ? 1 : 0)" (a 0) (cond_js c) (a 1))
     | IsNull -> Some (Printf.sprintf "(%s === null ? 1 : 0)" (a 0))
+    | ClassId -> unsupported "class-id guard in JS output"
     | Getfield f -> Some (Printf.sprintf "%s.%s" (a 0) f.Vm.Types.fname)
     | Putfield f ->
       Some (Printf.sprintf "(%s.%s = %s)" (a 0) f.Vm.Types.fname (a 1))

@@ -39,6 +39,7 @@ let op_name = function
   | Icmp c -> "icmp." ^ Vm.Disasm.cond_name c
   | Fcmp c -> "fcmp." ^ Vm.Disasm.cond_name c
   | IsNull -> "isnull"
+  | ClassId -> "classid"
   | Getfield f -> Printf.sprintf "getfield %s.%s" f.Vm.Types.fowner f.Vm.Types.fname
   | Putfield f -> Printf.sprintf "putfield %s.%s" f.Vm.Types.fowner f.Vm.Types.fname
   | Getglobal i -> Printf.sprintf "getglobal %d" i

@@ -23,6 +23,10 @@ type regs = {
 
 exception Fallback of string
 
+(* raised by a spliced guard step on the miss path, after running the side
+   exit and storing its result; the kernel entry catches it *)
+exception Guard_miss
+
 let count_typed = ref 0
 let count_fallback = ref 0
 let last_fallback = ref ""
@@ -136,7 +140,109 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
       | _ -> None)
     | Bytecode _ -> None
   in
+  (* Branch-condition fusion, as in the boxed backend: a comparison whose
+     only consumer is its own block's Br — and a ClassId feeding such a
+     comparison — compiles into the branch closure instead of becoming a
+     step, so a devirtualization guard is a bare compare-and-branch.
+     Same-block single-use only, which keeps the pure condition's
+     evaluation inside its original block. *)
+  let uses = Hashtbl.create 64 in
+  let defined_in = Hashtbl.create 64 in
+  let add_use s =
+    Hashtbl.replace uses s (1 + Option.value ~default:0 (Hashtbl.find_opt uses s))
+  in
+  let add_target (t : target) = Array.iter add_use t.targs in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n ->
+          Hashtbl.replace defined_in n.id b.bid;
+          Array.iter add_use n.args)
+        (body_in_order b);
+      match b.term with
+      | Ir.Ret s -> add_use s
+      | Jump t -> add_target t
+      | Br (c, t1, t2) ->
+        add_use c;
+        add_target t1;
+        add_target t2
+      | Exit se ->
+        List.iter
+          (fun fd ->
+            Array.iter add_use fd.fd_locals;
+            Array.iter add_use fd.fd_stack)
+          se.se_frames
+      | Unreachable _ -> ())
+    blocks;
+  let fused = Hashtbl.create 8 in
+  (* a fused condition keeps its shape so the guard-splicing pass below can
+     build a single-closure guard for the devirtualization pattern *)
+  let fused_conds
+      : (int, [ `Gen of regs -> bool | `Cid_eq of (regs -> value) * int ])
+        Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let fusable bid s =
+    Hashtbl.find_opt uses s = Some 1 && Hashtbl.find_opt defined_in s = Some bid
+  in
+  List.iter
+    (fun b ->
+      match b.term with
+      | Br (c, _, _) when fusable b.bid c -> (
+        let n = node g c in
+        let int_arg s =
+          let m = node g s in
+          match m.op with
+          | ClassId when fusable b.bid s ->
+            let a = get_val m.args.(0) in
+            Hashtbl.replace fused s ();
+            fun r ->
+              (match a r with
+              | Obj o -> o.Vm.Types.ocls.Vm.Types.cid
+              | _ -> -1)
+          | _ -> get_int s
+        in
+        match n.op with
+        | Icmp Vm.Types.Eq
+          when (match (node g n.args.(0)).op with
+               | ClassId -> fusable b.bid n.args.(0)
+               | _ -> false)
+               && (match (node g n.args.(1)).op with
+                  | Konst (Int _) -> true
+                  | _ -> false) ->
+          (* the devirtualization guard shape, classid(x) == const: one
+             closure, no nested calls *)
+          let m = node g n.args.(0) in
+          let a = get_val m.args.(0) in
+          let k =
+            match (node g n.args.(1)).op with
+            | Konst (Int k) -> k
+            | _ -> assert false
+          in
+          Hashtbl.replace fused m.id ();
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid (`Cid_eq (a, k))
+        | Icmp cc ->
+          let a = int_arg n.args.(0) and b' = int_arg n.args.(1) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid
+            (`Gen (fun r -> Vm.Value.cond_apply cc (a r) (b' r)))
+        | Fcmp cc ->
+          let a = get_float n.args.(0) and b' = get_float n.args.(1) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid
+            (`Gen (fun r -> Vm.Value.fcond_apply cc (a r) (b' r)))
+        | IsNull ->
+          let a = get_val n.args.(0) in
+          Hashtbl.replace fused c ();
+          Hashtbl.replace fused_conds b.bid
+            (`Gen (fun r -> match a r with Null -> true | _ -> false))
+        | _ -> ())
+      | _ -> ())
+    blocks;
   let compile_node n : (regs -> unit) option =
+    if Hashtbl.mem fused n.id then None
+    else
     match n.op with
     | Konst _ | Param _ | Bparam -> None
     | Iop op ->
@@ -185,6 +291,12 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
       let a = get_val n.args.(0) in
       let st = set_int n.id in
       Some (fun r -> st r (match a r with Null -> 1 | _ -> 0))
+    | ClassId ->
+      let a = get_val n.args.(0) in
+      let st = set_int n.id in
+      Some
+        (fun r ->
+          st r (match a r with Obj o -> o.Vm.Types.ocls.Vm.Types.cid | _ -> -1))
     | Getfield f ->
       let a = get_val n.args.(0) in
       let st = set_val n.id in
@@ -346,32 +458,117 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
     let handler = hooks.CB.on_exit in
     fun r -> handler se (Array.map (fun gv -> gv r) gs)
   in
-  let compile_term term : regs -> int =
+  (* Control-flow lowering, three layers:
+     - superblock splicing: an unconditional jump to a forward block with a
+       single predecessor concatenates the successor's steps in place, and
+       a Br whose cold arm is a bare side-exit block becomes an in-line
+       guard step (the miss path runs the exit and raises [Guard_miss]) —
+       so a devirtualization guard costs exactly one compare step on the
+       hot path, with no extra block boundary;
+     - threading: remaining forward transfers call the successor's closure
+       directly (recursion bounded by the block count);
+     - trampoline: backward (loop) edges return the target index.
+     [-1] means "function done" and unwinds nested forward calls. *)
+  let nblocks = List.length blocks in
+  let barr = Array.of_list blocks in
+  let compiled : (regs -> int) array = Array.make nblocks (fun _ -> -1) in
+  let npreds = Array.make nblocks 0 in
+  List.iter
+    (fun b ->
+      let tgt (t : target) =
+        let i = idx_of t.tblock in
+        npreds.(i) <- npreds.(i) + 1
+      in
+      match b.term with
+      | Jump t -> tgt t
+      | Br (_, t1, t2) ->
+        tgt t1;
+        tgt t2
+      | Ir.Ret _ | Exit _ | Unreachable _ -> ())
+    blocks;
+  (* a block that is only ever entered from [my_idx]'s terminator, forward:
+     safe to splice into the predecessor *)
+  let spliceable my_idx (t : target) =
+    let i = idx_of t.tblock in
+    i > my_idx && npreds.(i) = 1
+  in
+  let exit_only (t : target) : side_exit option =
+    let tb = block g t.tblock in
+    match tb.term with
+    | Exit se when body_in_order tb = [] -> Some se
+    | _ -> None
+  in
+  let branch_cond (b : block) c : regs -> bool =
+    match Hashtbl.find_opt fused_conds b.bid with
+    | Some (`Gen f) -> f
+    | Some (`Cid_eq (a, k)) ->
+      fun r ->
+        (match a r with Obj o -> o.Vm.Types.ocls.Vm.Types.cid | _ -> -1) = k
+    | None ->
+      let cv = get_int c in
+      fun r -> cv r <> 0
+  in
+  let rec parts i : (regs -> unit) list * (regs -> int) =
+    let b = barr.(i) in
+    let steps = body_in_order b |> List.filter_map compile_node in
+    match b.term with
+    | Jump t when spliceable i t ->
+      let tsteps, tterm = parts (idx_of t.tblock) in
+      let pre =
+        if Array.length t.targs = 0 then tsteps else compile_jump t :: tsteps
+      in
+      (steps @ pre, tterm)
+    | Br (c, t1, t2)
+      when spliceable i t1 && exit_only t2 <> None ->
+      let cp2 = compile_jump t2 in
+      let exit_run = compile_exit (Option.get (exit_only t2)) in
+      let miss r =
+        cp2 r;
+        ret_val := exit_run r;
+        raise Guard_miss
+      in
+      (* the devirtualization shape gets a single-closure guard: receiver
+         slot -> class-id compare, no nested calls on the hit path *)
+      let guard =
+        match (Hashtbl.find_opt fused_conds b.bid, Array.length t1.targs) with
+        | Some (`Cid_eq (a, k)), 0 ->
+          fun r ->
+            (match a r with
+            | Obj o when o.Vm.Types.ocls.Vm.Types.cid = k -> ()
+            | _ -> miss r)
+        | _, 0 ->
+          let cond = branch_cond b c in
+          fun r -> if cond r then () else miss r
+        | _, _ ->
+          let cond = branch_cond b c in
+          let cp1 = compile_jump t1 in
+          fun r -> if cond r then cp1 r else miss r
+      in
+      let tsteps, tterm = parts (idx_of t1.tblock) in
+      (steps @ (guard :: tsteps), tterm)
+    | term -> (steps, compile_term b i term)
+  and compile_term (b : block) (my_idx : int) term : regs -> int =
+    let arm (t : target) : regs -> int =
+      let cp = compile_jump t in
+      let nxt = idx_of t.tblock in
+      if nxt > my_idx then fun r ->
+        cp r;
+        compiled.(nxt) r
+      else fun r ->
+        cp r;
+        nxt
+    in
     match term with
     | Ir.Ret s ->
       let v = get_val s in
       fun r ->
         ret_val := v r;
         -1
-    | Jump t ->
-      let cp = compile_jump t in
-      let nxt = idx_of t.tblock in
-      fun r ->
-        cp r;
-        nxt
+    | Jump t -> arm t
     | Br (c, t1, t2) ->
-      let cv = get_int c in
-      let cp1 = compile_jump t1 and cp2 = compile_jump t2 in
-      let n1 = idx_of t1.tblock and n2 = idx_of t2.tblock in
-      fun r ->
-        if cv r <> 0 then begin
-          cp1 r;
-          n1
-        end
-        else begin
-          cp2 r;
-          n2
-        end
+      let cond = branch_cond b c in
+      let a1 = arm t1 and a2 = arm t2 in
+      fun r -> if cond r then a1 r else a2 r
     | Exit se ->
       let run = compile_exit se in
       fun r ->
@@ -379,16 +576,26 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         -1
     | Unreachable msg -> fun _ -> vm_error "reached unreachable block: %s" msg
   in
-  let compiled_blocks =
-    Array.of_list
-      (List.map
-         (fun b ->
-           let steps =
-             body_in_order b |> List.filter_map compile_node |> Array.of_list
-           in
-           (steps, compile_term b.term))
-         blocks)
-  in
+  List.iteri
+    (fun i _ ->
+      let steps, term = parts i in
+      let steps = Array.of_list steps in
+      compiled.(i) <-
+        (match Array.length steps with
+        | 0 -> term
+        | 1 ->
+          let s0 = steps.(0) in
+          fun r ->
+            s0 r;
+            term r
+        | len ->
+          let last = len - 1 in
+          fun r ->
+            for j = 0 to last do
+              steps.(j) r
+            done;
+            term r))
+    blocks;
   let entry_idx = idx_of g.entry in
   let nparams = g.nparams in
   (* param symbols get val slots; find them to seed from arguments *)
@@ -422,14 +629,12 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         Array.iteri
           (fun k slot -> if slot >= 0 then r.vals.(slot) <- args.(k))
           param_slots;
-        let bid = ref entry_idx in
-        while !bid >= 0 do
-          let steps, term = compiled_blocks.(!bid) in
-          for i = 0 to Array.length steps - 1 do
-            steps.(i) r
-          done;
-          bid := term r
-        done;
+        (try
+           let bid = ref entry_idx in
+           while !bid >= 0 do
+             bid := compiled.(!bid) r
+           done
+         with Guard_miss -> ());
         !ret_val)
 
 (* Span-instrumented entry point: attributes backend compile time in traces

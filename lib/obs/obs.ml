@@ -73,6 +73,20 @@ type event =
          (method label, source line at the sampled pc; 0 = unknown) *)
   | Span_begin of { name : string; cat : string }
   | Span_end of { name : string; cat : string; ms : float }
+  | Ic_transition of {
+      meth : string; (* enclosing method label *)
+      mid : int;
+      pc : int;
+      callee : string; (* virtual method name the site dispatches *)
+      from_state : string; (* "empty" | "mono" | "poly" | "mega" *)
+      to_state : string;
+    }
+  | Devirt_guard_fail of {
+      meth : string;
+      mid : int;
+      pc : int;
+      target : string; (* "name@ExpectedCls" the compiled guard tested *)
+    }
 
 let kind_name = function
   | Compile_start _ -> "compile-start"
@@ -91,6 +105,8 @@ let kind_name = function
   | Stack_sample _ -> "stack-sample"
   | Span_begin _ -> "span-begin"
   | Span_end _ -> "span-end"
+  | Ic_transition _ -> "ic-transition"
+  | Devirt_guard_fail _ -> "devirt-guard-fail"
 
 let deopt_kind_name = function Interpret -> "interpret" | Recompile -> "recompile"
 
@@ -145,6 +161,11 @@ let to_string ev =
   | Span_begin e -> Printf.sprintf "%-16s %s [%s]" (kind_name ev) e.name e.cat
   | Span_end e ->
     Printf.sprintf "%-16s %s [%s] %.3fms" (kind_name ev) e.name e.cat e.ms
+  | Ic_transition e ->
+    Printf.sprintf "%-16s %s @pc %d %s %s->%s" (kind_name ev) e.meth e.pc
+      e.callee e.from_state e.to_state
+  | Devirt_guard_fail e ->
+    Printf.sprintf "%-16s %s @pc %d %s" (kind_name ev) e.meth e.pc e.target
 
 (* ------------------------------------------------------------------ *)
 (* The bus                                                             *)
@@ -451,6 +472,13 @@ module Chrome = struct
     | Span_end e ->
       record t ~ph:"E" ~name:e.name ~cat:e.cat ~ts_us
         [ ev_tag; float_ "ms" e.ms ]
+    | Ic_transition e ->
+      record t ~ph:"i" ~name:("ic " ^ e.callee) ~cat:"interp" ~ts_us
+        [ ev_tag; str "meth" e.meth; int_ "pc" e.pc;
+          str "from" e.from_state; str "to" e.to_state ]
+    | Devirt_guard_fail e ->
+      record t ~ph:"i" ~name:("devirt-fail " ^ e.target) ~cat:"jit" ~ts_us
+        [ ev_tag; str "meth" e.meth; int_ "pc" e.pc ]
 
   let event_count t = t.count
 
@@ -569,7 +597,7 @@ module Profile = struct
       p.pe_exec_ms <- p.pe_exec_ms +. e.ms
     | Compile_start _ | Compile_enqueue _ | Compile_dequeue _
     | Compile_blacklist _ | Macro_expand _ | Stack_sample _ | Span_begin _
-    | Span_end _ ->
+    | Span_end _ | Ic_transition _ | Devirt_guard_fail _ ->
       ()
 
   let find t mid = Hashtbl.find_opt t.tbl mid

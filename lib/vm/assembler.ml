@@ -98,6 +98,7 @@ let stack_effect rt = function
       | Static m -> m.mnargs
       | Special m -> m.mnargs + 1
       | Virtual (_, n, _) -> n + 1
+      | Virtual_ic s -> s.cs_argc + 1
     in
     ignore rt;
     1 - argc

@@ -54,6 +54,10 @@ let field cls name =
 let has_field cls name =
   Array.exists (fun f -> String.equal f.fname name) cls.cfields
 
+(* Gate for the resolution memoization below; benches flip it off (together
+   with [rt.ic_enabled]) to measure the unmemoized superclass-chain walk. *)
+let cha_memo = ref true
+
 let add_method rt cls ~name ?(static = false) ~nargs code =
   let nlocals = nargs + (if static then 0 else 1) in
   let m =
@@ -75,21 +79,45 @@ let add_method rt cls ~name ?(static = false) ~nargs code =
   in
   rt.next_mid <- rt.next_mid + 1;
   cls.cmethods <- m :: cls.cmethods;
-  if not static then Hashtbl.replace cls.cvtable name m;
+  if not static then begin
+    Hashtbl.replace cls.cvtable name m;
+    (* The (re)definition changes what [name] resolves to at and below
+       [cls]: drop memoized inherited bindings for the name (they lazily
+       re-resolve), then fan out to the runtime — flush inline caches,
+       CHA answers and compiled code speculating on the old receiver set. *)
+    Hashtbl.iter
+      (fun _ c ->
+        if c != cls then
+          match Hashtbl.find_opt c.cvtable name with
+          | Some m' when m'.mowner != c -> Hashtbl.remove c.cvtable name
+          | _ -> ())
+      rt.classes;
+    Runtime.hierarchy_changed rt ~name
+  end;
   m
 
 let add_native rt cls ~name ?(static = false) ~nargs fn =
   add_method rt cls ~name ~static ~nargs (Native (cls.cname ^ "." ^ name, fn))
 
 (* Virtual lookup: own dispatch table first, then the superclass chain (the
-   chain is walked at call time so that methods may be added to a superclass
-   after subclasses were declared). *)
+   chain is walked lazily so that methods may be added to a superclass after
+   subclasses were declared).  A successful chain walk is memoized into the
+   starting class's own table so later lookups are a single probe; memoized
+   (inherited) bindings are recognizable by [mowner != cls] and are purged
+   by [add_method].  Writes happen only on the main domain — a JIT worker
+   resolving during compilation must not mutate tables the mutator reads. *)
 let rec resolve_virtual_opt cls name =
   match Hashtbl.find_opt cls.cvtable name with
   | Some m -> Some m
   | None -> (
     match cls.csuper with
-    | Some s -> resolve_virtual_opt s name
+    | Some s -> (
+      match resolve_virtual_opt s name with
+      | Some m as r ->
+        if !cha_memo && Domain.is_main_domain () then
+          Hashtbl.replace cls.cvtable name m;
+        r
+      | None -> None)
     | None -> None)
 
 let resolve_virtual cls name =
@@ -118,13 +146,23 @@ let has_flag cls f = List.mem f cls.cflags
 
 (* Class-hierarchy analysis: no strict subclass of [cls] (re)defines
    [name], so a virtual call on a receiver statically typed [cls] always
-   resolves to [resolve_virtual cls name]. *)
+   resolves to [resolve_virtual cls name].  The full class-table scan is
+   memoized per (cid, name) in [rt.cha_cache] — compile-time CHA was
+   quadratic during warm-up — and reset by [Runtime.hierarchy_changed].
+   Queries arrive from background JIT workers, hence the lock. *)
 let no_override_below rt cls name =
-  let overridden = ref false in
-  Hashtbl.iter
-    (fun _ c ->
-      if c.cid <> cls.cid && is_subclass c cls then
-        if List.exists (fun m -> String.equal m.mname name) c.cmethods then
-          overridden := true)
-    rt.classes;
-  not !overridden
+  let key = (cls.cid, name) in
+  Runtime.with_tier_lock rt (fun () ->
+      match Hashtbl.find_opt rt.cha_cache key with
+      | Some ans -> ans
+      | None ->
+        let overridden = ref false in
+        Hashtbl.iter
+          (fun _ c ->
+            if c.cid <> cls.cid && is_subclass c cls then
+              if List.exists (fun m -> String.equal m.mname name) c.cmethods
+              then overridden := true)
+          rt.classes;
+        let ans = not !overridden in
+        if !cha_memo then Hashtbl.replace rt.cha_cache key ans;
+        ans)

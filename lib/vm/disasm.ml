@@ -50,6 +50,11 @@ let pp_instr ppf = function
   | Invoke (Virtual (name, n, hint)) ->
     Format.fprintf ppf "invokevirtual %s/%d%s" name n
       (match hint with Some c -> " :" ^ c.cname | None -> "")
+  | Invoke (Virtual_ic site) ->
+    (* quickened site: show the live inline-cache state next to the call *)
+    Format.fprintf ppf "invokevirtual %s/%d%s [%s]" site.cs_name site.cs_argc
+      (match site.cs_hint with Some c -> " :" ^ c.cname | None -> "")
+      (Inlinecache.state_string site)
   | Ret -> Format.fprintf ppf "return"
   | Retv -> Format.fprintf ppf "vreturn"
   | Trap s -> Format.fprintf ppf "trap %S" s

@@ -236,14 +236,45 @@ let resume rt frame =
       | _ -> vm_error "alen: not an array at %s" (frame_loc f))
     | Invoke (Static m) -> invoke f m m.mnargs
     | Invoke (Special m) -> invoke f m (m.mnargs + 1)
-    | Invoke (Virtual (name, argc, _)) ->
+    | Invoke (Virtual_ic site) ->
+      (* quickened: inline-cache dispatch — a hit is one pointer compare *)
       let m =
-        match f.ostack.(f.sp - argc - 1) with
-        | Obj o -> Classfile.resolve_virtual o.ocls name
-        | Null -> vm_error "null receiver for %s at %s" name (frame_loc f)
-        | _ -> vm_error "invokevirtual %s on non-object at %s" name (frame_loc f)
+        match f.ostack.(f.sp - site.cs_argc - 1) with
+        | Obj o -> Inlinecache.dispatch f.fmeth site o
+        | Null ->
+          vm_error "null receiver for %s at %s" site.cs_name (frame_loc f)
+        | _ ->
+          vm_error "invokevirtual %s on non-object at %s" site.cs_name
+            (frame_loc f)
       in
-      invoke f m (argc + 1)
+      invoke f m (site.cs_argc + 1)
+    | Invoke (Virtual (name, argc, hint)) ->
+      if rt.ic_enabled then begin
+        (* first execution: quicken the instruction in place to carry a
+           fresh inline cache (pc already advanced past the invoke) *)
+        let site =
+          Inlinecache.make_site rt ~mid:f.fmeth.mid ~pc:(f.pc - 1) ~name ~argc
+            ~hint
+        in
+        f.fcode.(f.pc - 1) <- Invoke (Virtual_ic site);
+        let m =
+          match f.ostack.(f.sp - argc - 1) with
+          | Obj o -> Inlinecache.dispatch f.fmeth site o
+          | Null -> vm_error "null receiver for %s at %s" name (frame_loc f)
+          | _ ->
+            vm_error "invokevirtual %s on non-object at %s" name (frame_loc f)
+        in
+        invoke f m (argc + 1)
+      end
+      else
+        let m =
+          match f.ostack.(f.sp - argc - 1) with
+          | Obj o -> Classfile.resolve_virtual o.ocls name
+          | Null -> vm_error "null receiver for %s at %s" name (frame_loc f)
+          | _ ->
+            vm_error "invokevirtual %s on non-object at %s" name (frame_loc f)
+        in
+        invoke f m (argc + 1)
     | Ret -> return_value Null
     | Retv -> return_value (pop f)
     | Trap msg -> vm_error "trap: %s at %s" msg (frame_loc f)

@@ -184,10 +184,11 @@ let install rt =
   install_compiledfn rt;
   install_lancet rt
 
-let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue () =
+let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue
+    ?inline_caches () =
   let rt =
     Runtime.create ?tiering ?tier_threshold ?tier_cache_size ?jit_threads
-      ?jit_queue ()
+      ?jit_queue ?inline_caches ()
   in
   install rt;
   rt

@@ -5,7 +5,7 @@
 open Types
 
 let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
-    ?(jit_threads = 0) ?(jit_queue = 32) () =
+    ?(jit_threads = 0) ?(jit_queue = 32) ?(inline_caches = true) () =
   {
     classes = Hashtbl.create 64;
     next_oid = 0;
@@ -19,6 +19,9 @@ let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
     compile_hook = None;
     jit_hook = None;
     interp_steps = 0;
+    ic_enabled = inline_caches;
+    ic_sites = Hashtbl.create 64;
+    cha_cache = Hashtbl.create 64;
     tiering =
       {
         t_enabled = tiering;
@@ -31,6 +34,8 @@ let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
         t_jit_threads = max 0 jit_threads;
         t_jit_queue = max 1 jit_queue;
         t_bg_recompile = None;
+        t_hier_epoch = 0;
+        t_devirt_deps = Hashtbl.create 16;
         t_compiles = 0;
         t_cache_hits = 0;
         t_cache_misses = 0;
@@ -179,7 +184,30 @@ let rec tier_evict rt =
         Obs.emit
           (Obs.Cache_evict { meth = meth_label e.ce_meth; mid = e.ce_meth.mid }))
 
-let tier_install_unlocked rt (m : meth) fn =
+(* Record that [m]'s installed code speculates on virtual dispatch of each
+   name in [deps] (caller holds [t_lock]); [hierarchy_changed] walks the
+   buckets to invalidate every dependent method. *)
+let devirt_register_unlocked rt deps (m : meth) =
+  List.iter
+    (fun name ->
+      let bucket =
+        match Hashtbl.find_opt rt.tiering.t_devirt_deps name with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.replace rt.tiering.t_devirt_deps name b;
+          b
+      in
+      if not (List.exists (fun (m' : meth) -> m'.mid = m.mid) !bucket) then
+        bucket := m :: !bucket)
+    deps
+
+let devirt_register rt deps m =
+  with_tier_lock rt (fun () -> devirt_register_unlocked rt deps m)
+
+let hier_epoch rt = with_tier_lock rt (fun () -> rt.tiering.t_hier_epoch)
+
+let tier_install_unlocked rt ?(deps = []) (m : meth) fn =
   let t = rt.tiering in
   let entry = { ce_meth = m; ce_fn = fn; ce_gen = tier_gen_unlocked rt m.mid } in
   if
@@ -188,23 +216,34 @@ let tier_install_unlocked rt (m : meth) fn =
   then tier_evict rt;
   Hashtbl.replace t.t_cache m.mid entry;
   Queue.add m.mid t.t_order;
+  devirt_register_unlocked rt deps m;
   m.mtier <- Tier_compiled fn;
   if !Obs.enabled then
     Obs.emit
       (Obs.Cache_install { meth = meth_label m; mid = m.mid; gen = entry.ce_gen })
 
-let tier_install rt m fn =
-  with_tier_lock rt (fun () -> tier_install_unlocked rt m fn)
+let tier_install ?deps rt m fn =
+  with_tier_lock rt (fun () -> tier_install_unlocked rt ?deps m fn)
 
 (* The atomic-publish primitive of the background JIT: install [fn] only if
    the method's generation still equals [gen] (the stamp read when the
-   worker started compiling).  An invalidation that raced the compile bumped
-   the generation, so the stale entry point is discarded and the caller
-   decides whether to requeue.  Returns whether the install happened. *)
-let tier_install_if_current rt (m : meth) ~gen fn =
+   worker started compiling) — and, when the compile speculated on receiver
+   types ([deps] non-empty), only if the class-hierarchy epoch still equals
+   [epoch] (read at compile start).  An invalidation or a dispatch-changing
+   [Classfile.add_method] that raced the compile bumped the corresponding
+   stamp, so the stale entry point is discarded and the caller decides
+   whether to requeue.  Returns whether the install happened. *)
+let tier_install_if_current rt (m : meth) ~gen ?epoch ?(deps = []) fn =
   with_tier_lock rt (fun () ->
-      if tier_gen_unlocked rt m.mid = gen then begin
-        tier_install_unlocked rt m fn;
+      let epoch_ok =
+        deps = []
+        ||
+        match epoch with
+        | None -> true
+        | Some e -> rt.tiering.t_hier_epoch = e
+      in
+      if epoch_ok && tier_gen_unlocked rt m.mid = gen then begin
+        tier_install_unlocked rt ~deps m fn;
         true
       end
       else false)
@@ -212,16 +251,43 @@ let tier_install_if_current rt (m : meth) ~gen fn =
 (* Drop the installed code for [m] and bump its generation stamp, so that
    stale entries can never be re-activated (the [Lancet.stable] recompile
    path and explicit invalidation both land here). *)
+let tier_invalidate_unlocked rt (m : meth) =
+  let t = rt.tiering in
+  Hashtbl.replace t.t_gen m.mid (tier_gen_unlocked rt m.mid + 1);
+  Hashtbl.remove t.t_cache m.mid;
+  (match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ());
+  if !Obs.enabled then
+    Obs.emit
+      (Obs.Cache_invalidate
+         { meth = meth_label m; mid = m.mid; gen = tier_gen_unlocked rt m.mid })
+
 let tier_invalidate rt (m : meth) =
+  with_tier_lock rt (fun () -> tier_invalidate_unlocked rt m)
+
+(* Invalidation fan-out for a dispatch-affecting hierarchy mutation (a
+   non-static [Classfile.add_method]): flush every interpreter inline cache
+   for [name], drop the memoized CHA answers, bump the hierarchy epoch (so
+   in-flight speculative compiles discard on install) and invalidate every
+   installed method that speculated on dispatch of [name].  Runs on the
+   mutator; the IC reset touches mutator-only structures, the rest is under
+   [t_lock]. *)
+let hierarchy_changed rt ~name =
+  Hashtbl.iter
+    (fun _ (site : callsite) ->
+      if String.equal site.cs_name name then
+        match site.cs_state with
+        | Ic_empty -> ()
+        | _ -> site.cs_state <- Ic_empty)
+    rt.ic_sites;
   with_tier_lock rt (fun () ->
-      let t = rt.tiering in
-      Hashtbl.replace t.t_gen m.mid (tier_gen_unlocked rt m.mid + 1);
-      Hashtbl.remove t.t_cache m.mid;
-      (match m.mtier with Tier_compiled _ -> m.mtier <- Tier_cold | _ -> ());
-      if !Obs.enabled then
-        Obs.emit
-          (Obs.Cache_invalidate
-             { meth = meth_label m; mid = m.mid; gen = tier_gen_unlocked rt m.mid }))
+      Hashtbl.reset rt.cha_cache;
+      rt.tiering.t_hier_epoch <- rt.tiering.t_hier_epoch + 1;
+      match Hashtbl.find_opt rt.tiering.t_devirt_deps name with
+      | None -> ()
+      | Some bucket ->
+        let ms = !bucket in
+        Hashtbl.remove rt.tiering.t_devirt_deps name;
+        List.iter (fun m -> tier_invalidate_unlocked rt m) ms)
 
 (* Promote a hot method through the installed [jit_hook]; a hook failure
    (or absence of a result) blacklists the method so we never retry. *)
@@ -276,10 +342,32 @@ let tiered_fn rt (m : meth) : (value array -> value) option =
       else None
     end
 
+(* Aggregate inline-cache counters over all quickened sites:
+   (hits, misses, mono, poly, mega) — the last three count sites by their
+   current state. *)
+let ic_stats rt =
+  let hits = ref 0 and misses = ref 0 in
+  let mono = ref 0 and poly = ref 0 and mega = ref 0 in
+  Hashtbl.iter
+    (fun _ (s : callsite) ->
+      hits := !hits + s.cs_hits;
+      misses := !misses + s.cs_misses;
+      match s.cs_state with
+      | Ic_empty -> ()
+      | Ic_mono _ -> incr mono
+      | Ic_poly _ -> incr poly
+      | Ic_mega -> incr mega)
+    rt.ic_sites;
+  (!hits, !misses, !mono, !poly, !mega)
+
 let tier_stats_string rt =
   let t = rt.tiering in
+  let ic_hits, ic_misses, mono, poly, mega = ic_stats rt in
   Printf.sprintf
     "compiles=%d cache_hits=%d cache_misses=%d evictions=%d deopts=%d \
-     interp_steps=%d"
+     interp_steps=%d ic_hits=%d ic_misses=%d ic_sites=%d(mono=%d poly=%d \
+     mega=%d)"
     t.t_compiles t.t_cache_hits t.t_cache_misses t.t_evictions t.t_deopts
-    rt.interp_steps
+    rt.interp_steps ic_hits ic_misses
+    (Hashtbl.length rt.ic_sites)
+    mono poly mega

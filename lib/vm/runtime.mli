@@ -10,6 +10,7 @@ val create :
   ?tier_cache_size:int ->
   ?jit_threads:int ->
   ?jit_queue:int ->
+  ?inline_caches:bool ->
   unit ->
   runtime
 (** A fresh runtime with no classes; see {!Natives.boot} for one with the
@@ -22,7 +23,8 @@ val create :
     [Bgjit] subsystem should run (0, the default, keeps compilation
     synchronous and deterministic) and [jit_queue] bounds its compile
     queue; the runtime only records these knobs — [Bgjit.create] reads
-    them. *)
+    them.  [inline_caches] (default true) lets the interpreter quicken
+    invokevirtual sites into per-site inline caches. *)
 
 val alloc : runtime -> cls -> obj
 (** Allocate an instance with all fields [Null]. *)
@@ -76,18 +78,54 @@ val find_method_by_id : runtime -> int -> meth option
 val tier_gen : runtime -> int -> int
 (** Current generation stamp of a method id (0 until first invalidation). *)
 
-val tier_install : runtime -> meth -> (value array -> value) -> unit
-(** Install a compiled entry point for [m] at its current generation. *)
+val with_tier_lock : runtime -> (unit -> 'a) -> 'a
+(** Run [f] holding the tiering lock (code-cache structure, CHA memo and
+    devirtualization bookkeeping are guarded by it).  [f] must not call
+    back into locked runtime entry points. *)
+
+val tier_install :
+  ?deps:string list -> runtime -> meth -> (value array -> value) -> unit
+(** Install a compiled entry point for [m] at its current generation.
+    [deps] names the virtual-call targets the code speculates on (IC
+    feedback or CHA); {!hierarchy_changed} on any of them invalidates the
+    entry. *)
 
 val tier_install_if_current :
-  runtime -> meth -> gen:int -> (value array -> value) -> bool
+  runtime ->
+  meth ->
+  gen:int ->
+  ?epoch:int ->
+  ?deps:string list ->
+  (value array -> value) ->
+  bool
 (** Atomic publish for background compilation: install the entry point only
     if [m]'s generation still equals [gen] (the stamp read when the compile
-    started).  Returns [false] — and installs nothing — when an invalidation
-    raced the compile and bumped the generation. *)
+    started) and — when the compile speculated on receiver types ([deps]
+    non-empty) — the class-hierarchy epoch still equals [epoch].  Returns
+    [false] — and installs nothing — when an invalidation or a
+    dispatch-changing method definition raced the compile. *)
 
 val tier_invalidate : runtime -> meth -> unit
 (** Drop [m]'s installed code and bump its generation stamp. *)
+
+val devirt_register : runtime -> string list -> meth -> unit
+(** Record that [m]'s installed code speculates on virtual dispatch of the
+    given method names (used by the synchronous promotion path, where
+    compile and install are not raced by hierarchy mutation). *)
+
+val hier_epoch : runtime -> int
+(** Current class-hierarchy epoch; bumped whenever a method (re)definition
+    can change virtual dispatch. *)
+
+val hierarchy_changed : runtime -> name:string -> unit
+(** A (re)definition of a virtual method [name] happened: flush interpreter
+    inline caches for that name, drop memoized CHA answers, bump the
+    hierarchy epoch and invalidate every installed method whose compiled
+    code speculated on dispatch of [name]. *)
+
+val ic_stats : runtime -> int * int * int * int * int
+(** Aggregate inline-cache counters over all quickened sites:
+    [(hits, misses, mono_sites, poly_sites, mega_sites)]. *)
 
 val tier_promote : runtime -> meth -> (value array -> value) option
 (** Compile [m] through the installed [jit_hook] and install the result;

@@ -131,6 +131,37 @@ and invoke =
   | Virtual of string * int * cls option
     (* method name, parameter count, optional static receiver-type hint
        emitted by the front-end (used for CHA devirtualization) *)
+  | Virtual_ic of callsite
+    (* quickened virtual call: the interpreter rewrites [Virtual] to this on
+       first execution, threading the site's mutable inline cache *)
+
+(* Per-call-site inline cache: receiver class -> resolved method.  A site
+   starts [Ic_empty], quickens to monomorphic on first dispatch, grows a
+   small polymorphic cache on miss and degrades to megamorphic (generic
+   lookup) beyond [Inlinecache.poly_limit].  The entry counts double as the
+   receiver-type profile consumed by the JIT's speculative devirtualizer. *)
+and ic_entry = {
+  ice_cls : cls;
+  ice_meth : meth;
+  mutable ice_count : int; (* dispatches through this entry *)
+}
+
+and ic_state =
+  | Ic_empty
+  | Ic_mono of ic_entry
+  | Ic_poly of ic_entry array (* 2..poly_limit entries, insertion order *)
+  | Ic_mega
+
+and callsite = {
+  cs_mid : int; (* enclosing method *)
+  cs_pc : int; (* pc of the invokevirtual *)
+  cs_name : string;
+  cs_argc : int;
+  cs_hint : cls option;
+  mutable cs_state : ic_state;
+  mutable cs_hits : int;
+  mutable cs_misses : int;
+}
 
 and runtime = {
   classes : (string, cls) Hashtbl.t;
@@ -151,6 +182,15 @@ and runtime = {
        enqueueing it for a background JIT worker ([Jit_pending]);
        [Jit_declined] blacklists the method *)
   mutable interp_steps : int; (* instruction counter, for tests/benches *)
+  mutable ic_enabled : bool; (* quicken invokevirtual sites to inline caches *)
+  ic_sites : (int * int, callsite) Hashtbl.t;
+    (* (mid, pc) -> quickened call site; mutator-only structure (sites are
+       created and transitioned by the interpreter; JIT workers read the
+       word-sized [cs_state] field of individual sites) *)
+  cha_cache : (int * string, bool) Hashtbl.t;
+    (* (cid, name) -> [Classfile.no_override_below] answer; guarded by
+       [t_lock] (compile-time CHA queries arrive from worker domains) and
+       reset wholesale on hierarchy mutation *)
   tiering : tiering;
 }
 
@@ -174,6 +214,15 @@ and tiering = {
   mutable t_bg_recompile : (meth -> unit) option;
     (* installed by the background JIT: route deopt-triggered recompiles
        through the compile queue instead of rebuilding on the mutator *)
+  mutable t_hier_epoch : int;
+    (* class-hierarchy epoch, bumped under [t_lock] whenever a method
+       (re)definition can change virtual dispatch; an in-flight compile
+       that speculated on receiver types installs only if the epoch it
+       read at compile start is still current *)
+  t_devirt_deps : (string, meth list ref) Hashtbl.t;
+    (* method name -> compiled methods whose installed code speculates on
+       dispatch of that name (IC feedback or CHA); [hierarchy_changed]
+       invalidates the bucket.  Guarded by [t_lock]. *)
   mutable t_compiles : int;
   mutable t_cache_hits : int;
   mutable t_cache_misses : int;

@@ -37,6 +37,7 @@ let pops_pushes (m : meth) pc (i : instr) : int * int =
       | Static c -> c.mnargs
       | Special c -> c.mnargs + 1
       | Virtual (_, n, _) -> n + 1
+      | Virtual_ic s -> s.cs_argc + 1
     in
     if argc < 0 then error m pc "negative argument count";
     (argc, 1)

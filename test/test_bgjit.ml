@@ -127,7 +127,7 @@ let test_stale_never_installs () =
         while not (Atomic.get release) do
           Domain.cpu_relax ()
         done;
-        Some (fun _ -> Vm.Types.Str "stale code ran"))
+        Some ((fun _ -> Vm.Types.Str "stale code ran"), [], 0))
       rt
   in
   let p = Mini.Front.load rt hot_src in

@@ -1,0 +1,369 @@
+(* Tests for type feedback: interpreter inline caches with bytecode
+   quickening, class-hierarchy invalidation of both the caches and the
+   CHA memos, and speculative devirtualization in the JIT — including a
+   dispatch-changing method definition racing an in-flight background
+   compile, which must never install the speculated code. *)
+
+open Vm
+open Vm.Types
+
+let value = Alcotest.testable Vm.Value.pp Vm.Value.equal
+let check_value = Alcotest.check value
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let quiet = Some (fun (_ : string) -> ())
+
+let await ?(what = "condition") p =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (p ())) && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  if not (p ()) then Alcotest.failf "timed out waiting for %s" what
+
+(* The single quickened site belonging to [driver]. *)
+let driver_site rt (driver : meth) =
+  match
+    Hashtbl.fold
+      (fun _ (s : callsite) acc ->
+        if s.cs_mid = driver.mid then Some s else acc)
+      rt.ic_sites None
+  with
+  | Some s -> s
+  | None -> Alcotest.fail "call site did not quicken"
+
+(* ------------------------------------------------------------------ *)
+(* mono -> poly -> mega transitions, quickening in place, rendering.    *)
+
+let test_transitions () =
+  let rt = Natives.boot () in
+  let base = Classfile.declare_class rt ~name:"IcBase" ~fields:[] () in
+  ignore
+    (Assembler.define_method rt base ~name:"tag" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Int 0));
+         Assembler.emit b Retv));
+  let subs =
+    List.init 5 (fun i ->
+        let c =
+          Classfile.declare_class rt
+            ~name:(Printf.sprintf "IcSub%d" i)
+            ~super:"IcBase" ~fields:[] ()
+        in
+        ignore
+          (Assembler.define_method rt c ~name:"tag" ~nargs:0 (fun b ->
+               Assembler.emit b (Const (Int (i + 1)));
+               Assembler.emit b Retv));
+        c)
+  in
+  let scratch = Classfile.declare_class rt ~name:"IcDrv" ~fields:[] () in
+  let driver =
+    Assembler.define_method rt scratch ~name:"call" ~static:true ~nargs:1
+      (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Invoke (Virtual ("tag", 0, None)));
+        Assembler.emit b Retv)
+  in
+  let call c = Interp.call rt driver [| Obj (Runtime.alloc rt c) |] in
+  check_value "first call" (Int 1) (call (List.nth subs 0));
+  let site = driver_site rt driver in
+  check_string "monomorphic after one class" "mono:IcSub0"
+    (Inlinecache.state_string site);
+  (match driver.mcode with
+  | Bytecode code ->
+    check_bool "invoke quickened in place" true
+      (Array.exists
+         (function Invoke (Virtual_ic _) -> true | _ -> false)
+         code)
+  | Native _ -> Alcotest.fail "expected bytecode");
+  check_value "mono hit" (Int 1) (call (List.nth subs 0));
+  check_int "hit counted" 1 site.cs_hits;
+  check_value "second class" (Int 2) (call (List.nth subs 1));
+  check_string "polymorphic after two" "poly:{IcSub0,IcSub1}"
+    (Inlinecache.state_string site);
+  check_value "poly hit" (Int 2) (call (List.nth subs 1));
+  check_int "poly hits counted" 2 site.cs_hits;
+  (* five distinct receiver classes blow past poly_limit = 4 *)
+  List.iteri (fun i c -> check_value "chain" (Int (i + 1)) (call c)) subs;
+  check_string "megamorphic after five" "mega" (Inlinecache.state_string site);
+  check_value "mega still dispatches correctly" (Int 0) (call base);
+  check_bool "disasm renders the site state" true
+    (Strutil.contains (Disasm.method_to_string driver) "[mega]");
+  let hits, misses, mono, poly, mega = Runtime.ic_stats rt in
+  check_bool "stats: hits" true (hits >= 3);
+  check_bool "stats: misses" true (misses >= 5);
+  check_int "stats: site counts" 1 (mono + poly + mega)
+
+(* ------------------------------------------------------------------ *)
+(* Quickened and unquickened interpreters agree on a polymorphic
+   workload, and both agree with the tiered (compiled) configuration.   *)
+
+let poly_src =
+  {|
+class Shape {
+  var k: int
+  def init(k: int): unit = { this.k = k }
+  def area(): int = 0
+}
+class Square extends Shape {
+  def area(): int = this.k * this.k
+}
+class Circle extends Shape {
+  def area(): int = 3 * this.k * this.k
+}
+def pick(i: int): Shape = {
+  var s: Shape = new Shape(i % 5);
+  if (i % 3 < 2) { s = new Square(i % 5) };
+  if (i % 3 < 1) { s = new Circle(i % 5) };
+  s
+}
+def total(n: int): int = {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + pick(i).area();
+    i = i + 1
+  };
+  acc
+}
+|}
+
+let test_quickened_equivalence () =
+  let run rt = Mini.Front.call (Mini.Front.load rt poly_src) "total" [| Int 200 |] in
+  let rt_on = Lancet.Api.boot () in
+  let rt_off = Lancet.Api.boot ~inline_caches:false () in
+  let rt_tiered = Lancet.Api.boot ~tiering:true ~tier_threshold:8 () in
+  let v_on = run rt_on in
+  check_value "ic off matches ic on" v_on (run rt_off);
+  check_value "tiered matches interpreter" v_on (run rt_tiered);
+  let hits, _, mono, poly, mega = Runtime.ic_stats rt_on in
+  check_bool "caches were hit" true (hits > 0);
+  check_bool "sites quickened" true (mono + poly + mega > 0);
+  check_int "no sites without inline caches" 0 (Hashtbl.length rt_off.ic_sites)
+
+(* ------------------------------------------------------------------ *)
+(* Late redefinition after a speculative compile (synchronous tiering):
+   the installed code direct-called the old target, so [add_method] must
+   invalidate it through the devirtualization dependency and the next
+   call must see the new behavior.                                      *)
+
+let redefine_src =
+  {|
+class Pt {
+  var x: int
+  def init(x: int): unit = { this.x = x }
+  def m(): int = this.x + 1
+}
+def driver(p: Pt, n: int): int = {
+  var acc = 0;
+  var i = 0;
+  while (i < n) { acc = acc + p.m(); i = i + 1 };
+  acc
+}
+def mk(x: int): Pt = new Pt(x)
+|}
+
+let test_late_redefine_sync () =
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:4 () in
+  let p = Mini.Front.load rt redefine_src in
+  let driver = Mini.Front.find_function p "driver" in
+  let o = Mini.Front.call p "mk" [| Int 5 |] in
+  for _ = 1 to 4 do
+    check_value "trained" (Int 60) (Mini.Front.call p "driver" [| o; Int 10 |])
+  done;
+  check_bool "driver compiled with speculation" true
+    (match driver.mtier with Tier_compiled _ -> true | _ -> false);
+  let gen0 = Vm.Runtime.tier_gen rt driver.mid in
+  (* redefine Pt.m out from under the compiled direct call *)
+  let pt = Classfile.find_class rt "Pt" in
+  let fx = Classfile.field pt "x" in
+  ignore
+    (Assembler.define_method rt pt ~name:"m" ~nargs:0 (fun b ->
+         Assembler.emit b (Load 0);
+         Assembler.emit b (Getfield fx);
+         Assembler.emit b (Const (Int 100));
+         Assembler.emit b (Iop Add);
+         Assembler.emit b Retv));
+  check_bool "dependency invalidation bumped the generation" true
+    (Vm.Runtime.tier_gen rt driver.mid > gen0);
+  (* the very first call after the redefinition must see the new method *)
+  check_value "new dispatch target visible immediately" (Int 1050)
+    (Mini.Front.call p "driver" [| o; Int 10 |]);
+  (* and keeps being right once the method re-promotes and recompiles *)
+  for _ = 1 to 6 do
+    check_value "stable after recompile" (Int 1050)
+      (Mini.Front.call p "driver" [| o; Int 10 |])
+  done
+
+(* ------------------------------------------------------------------ *)
+(* A mono-speculated guard that fails at run time deopts to the
+   interpreter (never a wrong answer), and repeated failures invalidate
+   so the method recompiles against the retrained (now poly) profile.   *)
+
+let guard_src =
+  {|
+class A2 {
+  var x: int
+  def init(x: int): unit = { this.x = x }
+  def m(): int = 1
+}
+class B2 extends A2 {
+  def m(): int = 2
+}
+def driver2(a: A2, n: int): int = {
+  var acc = 0;
+  var i = 0;
+  while (i < n) { acc = acc + a.m(); i = i + 1 };
+  acc
+}
+def mkA(): A2 = new A2(0)
+def mkB(): A2 = new B2(0)
+|}
+
+let test_guard_fail_deopts () =
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:4 () in
+  let p = Mini.Front.load rt guard_src in
+  let driver = Mini.Front.find_function p "driver2" in
+  let a = Mini.Front.call p "mkA" [||] in
+  let b = Mini.Front.call p "mkB" [||] in
+  (* train monomorphically on A2 until compiled: B2 overrides m, so CHA
+     cannot prove the call and the compile must guard on the IC profile *)
+  for _ = 1 to 4 do
+    check_value "trained" (Int 10) (Mini.Front.call p "driver2" [| a; Int 10 |])
+  done;
+  check_bool "compiled against the mono profile" true
+    (match driver.mtier with Tier_compiled _ -> true | _ -> false);
+  let deopts0 = rt.tiering.t_deopts in
+  (* an off-profile receiver: the class-id guard fails, the side exit
+     resumes the interpreter at the invoke, and the answer is right *)
+  check_value "guard failure never yields a wrong result" (Int 20)
+    (Mini.Front.call p "driver2" [| b; Int 10 |]);
+  check_bool "the miss deoptimized" true (rt.tiering.t_deopts > deopts0);
+  (* keep missing: the entry invalidates and recompiles poly; every call
+     stays correct throughout *)
+  for _ = 1 to 6 do
+    check_value "B2 stays correct" (Int 20)
+      (Mini.Front.call p "driver2" [| b; Int 10 |]);
+    check_value "A2 stays correct" (Int 10)
+      (Mini.Front.call p "driver2" [| a; Int 10 |])
+  done
+
+(* ------------------------------------------------------------------ *)
+(* A dispatch-changing definition racing an in-flight background
+   compile: the worker finished building speculative code against the
+   old hierarchy, so the epoch-checked install must discard it.         *)
+
+let bg_src =
+  {|
+class P3 {
+  var x: int
+  def init(x: int): unit = { this.x = x }
+  def m(): int = this.x + 1
+}
+def driver3(p: P3, n: int): int = {
+  var acc = 0;
+  var i = 0;
+  while (i < n) { acc = acc + p.m(); i = i + 1 };
+  acc
+}
+def mk3(x: int): P3 = new P3(x)
+|}
+
+let test_bg_inflight_override () =
+  (* threshold high enough that nothing promotes organically: the test
+     drives the queue by hand, like the bgjit stale-install test *)
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:1_000_000 () in
+  let started = Atomic.make false in
+  let release = Atomic.make false in
+  let pool =
+    Bgjit.create ~threads:1 ?log:quiet
+      ~compile:(fun rt m ->
+        (* build for real first — speculating on the trained IC — then
+           stall so the mutator can mutate the hierarchy pre-install *)
+        let r = Lancet.Tiering.compile rt m in
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        r)
+      rt
+  in
+  let p = Mini.Front.load rt bg_src in
+  let driver = Mini.Front.find_function p "driver3" in
+  let o = Mini.Front.call p "mk3" [| Int 5 |] in
+  (* train the site so the compile has a profile to speculate on *)
+  for _ = 1 to 3 do
+    check_value "trained" (Int 60) (Mini.Front.call p "driver3" [| o; Int 10 |])
+  done;
+  let epoch0 = Vm.Runtime.hier_epoch rt in
+  check_bool "queued" true (Bgjit.enqueue pool driver = `Queued);
+  await ~what:"background compile to finish building" (fun () ->
+      Atomic.get started);
+  (* the hierarchy mutation lands while the code sits unpublished *)
+  let p3 = Classfile.find_class rt "P3" in
+  ignore
+    (Assembler.define_method rt p3 ~name:"m" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Int 100));
+         Assembler.emit b Retv));
+  check_bool "epoch advanced" true (Vm.Runtime.hier_epoch rt > epoch0);
+  Atomic.set release true;
+  Bgjit.drain pool;
+  Bgjit.shutdown pool;
+  let s = Bgjit.stats pool in
+  check_int "speculated code discarded as stale" 1 s.Bgjit.s_stale;
+  check_int "nothing installed" 0 s.Bgjit.s_installed;
+  check_bool "stale code not in the cache" false
+    (Hashtbl.mem rt.tiering.t_cache driver.mid);
+  check_value "correct against the new hierarchy" (Int 1000)
+    (Mini.Front.call p "driver3" [| o; Int 10 |])
+
+(* ------------------------------------------------------------------ *)
+(* The CHA memos: [no_override_below] answers are cached and a later
+   override drops them; [resolve_virtual_opt] memoizes inherited lookups
+   into the subclass vtable and the override replaces them.             *)
+
+let test_cha_caches () =
+  let rt = Natives.boot () in
+  let base = Classfile.declare_class rt ~name:"ChaA" ~fields:[] () in
+  ignore
+    (Assembler.define_method rt base ~name:"f" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Int 1));
+         Assembler.emit b Retv));
+  let sub = Classfile.declare_class rt ~name:"ChaB" ~super:"ChaA" ~fields:[] () in
+  check_bool "no override yet" true (Classfile.no_override_below rt base "f");
+  check_bool "answer cached" true
+    (Hashtbl.mem rt.cha_cache (base.cid, "f"));
+  (match Classfile.resolve_virtual_opt sub "f" with
+  | Some m -> check_bool "resolves to the inherited method" true (m.mowner == base)
+  | None -> Alcotest.fail "resolve_virtual_opt failed");
+  check_bool "inherited lookup memoized into subclass vtable" true
+    (Hashtbl.mem sub.cvtable "f");
+  ignore
+    (Assembler.define_method rt sub ~name:"f" ~nargs:0 (fun b ->
+         Assembler.emit b (Const (Int 2));
+         Assembler.emit b Retv));
+  check_bool "override flips the CHA answer" false
+    (Classfile.no_override_below rt base "f");
+  (match Classfile.resolve_virtual_opt sub "f" with
+  | Some m -> check_bool "resolves to the override" true (m.mowner == sub)
+  | None -> Alcotest.fail "resolve_virtual_opt failed");
+  (* dispatch through the interpreter agrees *)
+  let scratch = Classfile.declare_class rt ~name:"ChaDrv" ~fields:[] () in
+  let call =
+    Assembler.define_method rt scratch ~name:"call" ~static:true ~nargs:1
+      (fun b ->
+        Assembler.emit b (Load 0);
+        Assembler.emit b (Invoke (Virtual ("f", 0, None)));
+        Assembler.emit b Retv)
+  in
+  check_value "base" (Int 1) (Interp.call rt call [| Obj (Runtime.alloc rt base) |]);
+  check_value "override" (Int 2) (Interp.call rt call [| Obj (Runtime.alloc rt sub) |])
+
+let suite =
+  [
+    Alcotest.test_case "ic-transitions" `Quick test_transitions;
+    Alcotest.test_case "quickened-equivalence" `Quick test_quickened_equivalence;
+    Alcotest.test_case "late-redefine-sync" `Quick test_late_redefine_sync;
+    Alcotest.test_case "guard-fail-deopt" `Quick test_guard_fail_deopts;
+    Alcotest.test_case "bg-inflight-override" `Quick test_bg_inflight_override;
+    Alcotest.test_case "cha-caches" `Quick test_cha_caches;
+  ]

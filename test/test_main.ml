@@ -7,6 +7,7 @@ let () =
       ("lancet", Test_lancet.suite);
       ("tiering", Test_tiering.suite);
       ("bgjit", Test_bgjit.suite);
+      ("ic", Test_ic.suite);
       ("obs", Test_obs.suite);
       ("provenance", Test_provenance.suite);
       ("csv", Test_csv.suite);
