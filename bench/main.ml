@@ -479,7 +479,7 @@ let tier_workload name src (driver : Vm.Types.runtime -> Mini.Front.program -> v
   let counts = Hashtbl.create 16 in
   List.iter
     (fun ev ->
-      let k = Obs.kind_name ev in
+      let k = Obs.kind_to_string ev in
       Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
     (Obs.Ring.events ring);
   let events =
@@ -755,6 +755,93 @@ let profile_bench () =
        (Profiler.coverage prof));
   close_out oc;
   pr "\nwrote BENCH_profile.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Decision forensics: disabled-journal checkpoint overhead            *)
+
+(* Cost of one journal checkpoint (`if !Forensics.on then Forensics.record
+   ...`) with the journal disabled.  The sites sit on tiering slow paths
+   (promotion, install, deopt, queue traffic) but the budget is deliberately
+   brutal — < 1ns over the bare loop — because the disabled path must be a
+   single load+branch: the action payload is allocated under the guard,
+   never before it.  Both loops are timed several times and the minima are
+   compared, so scheduler noise cannot trip the gate. *)
+let forensics_overhead ~iters =
+  Forensics.disable ();
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline () =
+    for i = 1 to iters do
+      body i
+    done
+  in
+  let guarded () =
+    for i = 1 to iters do
+      body i;
+      if !Forensics.on then
+        Forensics.record ~mid:0 ~meth:"bench" (Forensics.Install { gen = i })
+    done
+  in
+  let min_of f =
+    ignore (time f);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let b = min_of baseline in
+  let g = min_of guarded in
+  ignore !acc;
+  Float.max 0. ((g -. b) /. float_of_int iters *. 1e9)
+
+let forensics_guard ~iters =
+  let ns = forensics_overhead ~iters in
+  if ns > 1.0 then
+    failwith
+      (Printf.sprintf
+         "forensics: disabled journal checkpoint costs %.2fns (> 1ns budget)"
+         ns)
+
+let forensics_bench () =
+  header "Decision forensics: journal checkpoint overhead";
+  let iters = 20_000_000 in
+  let off_ns = forensics_overhead ~iters in
+  pr "\n%-36s %10.2f ns/site\n" "journal disabled (single branch)" off_ns;
+  let cap = 4096 in
+  Forensics.enable ~capacity:cap ();
+  let acc = ref 0 in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let rec_iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to rec_iters do
+    body i;
+    if !Forensics.on then
+      Forensics.record ~mid:0 ~meth:"bench" (Forensics.Install { gen = i })
+  done;
+  let on_total = Unix.gettimeofday () -. t0 in
+  ignore !acc;
+  let recorded = Forensics.seen () in
+  Forensics.disable ();
+  let on_ns = on_total /. float_of_int rec_iters *. 1e9 in
+  pr "%-36s %10.2f ns/site  (%d recorded, cap %d)\n"
+    "journal enabled (bounded ring)" on_ns recorded cap;
+  forensics_guard ~iters:2_000_000;
+  let oc = open_out "BENCH_forensics.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"iters\": %d,\n  \"disabled_checkpoint_ns_per_site\": %.3f,\n  \
+        \"budget_ns\": 1.0,\n  \"enabled_record_ns_per_site\": %.3f,\n  \
+        \"recorded\": %d,\n  \"capacity\": %d\n}\n"
+       iters off_ns on_ns recorded cap);
+  close_out oc;
+  pr "\nwrote BENCH_forensics.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch: interpreter inline caches and speculative devirtualization *)
@@ -1249,6 +1336,7 @@ let tier_check () =
   dispatch_check ();
   obs_guard ~iters:2_000_000;
   profile_guard ~iters:2_000_000;
+  forensics_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1268,6 +1356,7 @@ let () =
   | "tiered" -> tiered ()
   | "obs" -> obs_bench ()
   | "profile" -> profile_bench ()
+  | "forensics" -> forensics_bench ()
   | "bgjit" -> bgjit_bench ()
   | "dispatch" -> dispatch_bench ()
   | "check" -> tier_check ()
@@ -1281,6 +1370,7 @@ let () =
     tiered ();
     obs_bench ();
     profile_bench ();
+    forensics_bench ();
     bgjit_bench ();
     dispatch_bench ()
   | other ->

@@ -25,19 +25,17 @@ let load path =
 
 (* ---- observability sinks shared by run/trace ---- *)
 
-(* HotSpot-PrintCompilation-style log: compile/deopt/cache events only
-   (interp-call samples and spans would swamp the terminal). *)
+(* HotSpot-PrintCompilation-style log: the shared [Obs.compilation_event]
+   subset (interp-call samples and spans would swamp the terminal).  The
+   filter lives on the bus, next to the event type, so new event kinds are
+   logged here without this sink chasing them. *)
 let compilation_sink () =
   {
     Obs.sink_name = "print-compilation";
     sink_emit =
       (fun ~ts:_ ev ->
-        match ev with
-        | Obs.Compile_start _ | Obs.Compile_end _ | Obs.Deopt _
-        | Obs.Tier_promote _ | Obs.Cache_install _ | Obs.Cache_evict _
-        | Obs.Cache_invalidate _ ->
-          prerr_string ("[jit] " ^ Obs.to_string ev ^ "\n")
-        | _ -> ());
+        if Obs.compilation_event ev then
+          prerr_string ("[jit] " ^ Obs.to_string ev ^ "\n"));
     sink_flush = ignore;
   }
 
@@ -62,19 +60,57 @@ let print_deopt_sites rt (deopts : (string * int * string * int) list) =
         match Vm.Runtime.find_method_by_id rt mid with
         | Some m ->
           Format.printf "@.deopt site: %s (%s)@." (Vm.Runtime.meth_loc m pc) tag;
+          (* the decision journal knows *why*: guard identity for the deopt
+             itself, plus what the engine did about it afterwards *)
+          if !Forensics.on then begin
+            (match Lancet.Explain.deopt_causes mid pc with
+            | [] -> ()
+            | cs -> Format.printf "  cause: %s@." (String.concat "; " cs));
+            List.iter
+              (fun c -> Format.printf "  then: %s@." c)
+              (Lancet.Explain.deopt_consequences mid)
+          end;
           Format.printf "%s@." (Vm.Disasm.method_to_string ~mark:pc m)
         | None -> Format.printf "@.deopt site: %s at pc %d (%s)@." meth pc tag
       end)
     (List.rev deopts)
 
+(* ---- metrics export shared by run/health ---- *)
+
+(* Fill the export-time gauges and write the registry; a .prom suffix
+   selects Prometheus text exposition, anything else JSON. *)
+let export_metrics rt (j : Metrics.jit) path =
+  let hits, misses, _, _, _ = Vm.Runtime.ic_stats rt in
+  if hits + misses > 0 then
+    Metrics.set j.Metrics.j_ic_hit_ratio
+      (float_of_int hits /. float_of_int (hits + misses));
+  let data =
+    if Filename.check_suffix path ".prom" then
+      Metrics.to_prometheus j.Metrics.j_reg
+    else Metrics.to_json j.Metrics.j_reg
+  in
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc;
+  Format.eprintf "[metrics] -> %s@." path
+
 (* ---- run ---- *)
 
 let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
-    stats file fn args =
+    stats metrics health file fn args =
   let rt, pool =
     Lancet.Api.boot_bg ~tiering:tiered ~tier_threshold:threshold ~jit_threads
       ~jit_queue ()
   in
+  let jm =
+    if metrics <> None || health then begin
+      let j = Metrics.jit () in
+      Obs.attach (Metrics.jit_sink j);
+      Some j
+    end
+    else None
+  in
+  if health then Forensics.enable ();
   let chrome =
     Option.map
       (fun path ->
@@ -108,6 +144,10 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
   (match profile with
   | Some p -> Format.eprintf "@[<v>per-method profile:@,%s@]@." (Obs.Profile.table p)
   | None -> ());
+  (match (jm, metrics) with
+  | Some j, Some path -> export_metrics rt j path
+  | _ -> ());
+  if health then print_string (Lancet.Explain.health_report rt);
   (match pool with
   | Some b ->
     Bgjit.shutdown b;
@@ -188,6 +228,9 @@ let profile_cmd threshold repeat interval out file fn args =
 (* ---- explain: source annotated with tier/compile/deopt decisions ---- *)
 
 let explain_cmd threshold repeat interval no_residency file fn args =
+  (* the decision journal feeds deopt *causes* into the annotations and the
+     per-site disasm *)
+  Forensics.enable ();
   let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
   let x = Lancet.Explain.create () in
   Obs.attach (Lancet.Explain.sink x);
@@ -210,6 +253,51 @@ let explain_cmd threshold repeat interval no_residency file fn args =
   Format.printf "result: %a@.@." Vm.Value.pp !v;
   print_string (Lancet.Explain.render ?profiler:prof x rt ~src);
   print_deopt_sites rt !deopts;
+  0
+
+(* ---- why: per-method causal timelines from the decision journal ---- *)
+
+let why_cmd threshold jit_threads jit_queue repeat meth file fn args =
+  Forensics.enable ();
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:threshold ~jit_threads
+      ~jit_queue ()
+  in
+  let p = Mini.Front.load ~file rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  for _ = 1 to max 1 repeat do
+    v := Mini.Front.call p fn argv
+  done;
+  (match pool with Some b -> Bgjit.drain b | None -> ());
+  Obs.flush ();
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Lancet.Explain.why_report ?meth rt);
+  (match pool with Some b -> Bgjit.shutdown b | None -> ());
+  0
+
+(* ---- health: whole-run pathology report ---- *)
+
+let health_cmd threshold jit_threads jit_queue repeat metrics file fn args =
+  Forensics.enable ();
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:threshold ~jit_threads
+      ~jit_queue ()
+  in
+  let j = Metrics.jit () in
+  Obs.attach (Metrics.jit_sink j);
+  let p = Mini.Front.load ~file rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  for _ = 1 to max 1 repeat do
+    v := Mini.Front.call p fn argv
+  done;
+  (match pool with Some b -> Bgjit.drain b | None -> ());
+  Obs.flush ();
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Lancet.Explain.health_report rt);
+  (match metrics with Some path -> export_metrics rt j path | None -> ());
+  (match pool with Some b -> Bgjit.shutdown b | None -> ());
   0
 
 (* ---- disasm ---- *)
@@ -317,12 +405,31 @@ let stats_flag =
     & info [ "stats" ]
         ~doc:"Print a per-method profile table and tiering counters on exit")
 
+let metrics_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export the metrics registry (counters, gauges, latency \
+           histograms) to $(docv) on exit: Prometheus text exposition when \
+           $(docv) ends in .prom, JSON otherwise")
+
+let health_flag =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Enable the decision journal and print the whole-run pathology \
+           report (deopt loops, compile churn, cache thrash, ...) on exit")
+
 let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
     Term.(
       const run_cmd $ tiered_flag $ tier_threshold $ jit_threads $ jit_queue
-      $ trace_opt $ print_compilation_flag $ stats_flag $ file $ fn_pos $ rest)
+      $ trace_opt $ print_compilation_flag $ stats_flag $ metrics_opt
+      $ health_flag $ file $ fn_pos $ rest)
 
 let trace_out =
   Arg.(
@@ -389,6 +496,39 @@ let explain_t =
       const explain_cmd $ tier_threshold $ trace_repeat $ sample_interval
       $ no_residency_flag $ file $ trace_fn $ rest)
 
+let why_method =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "method" ] ~docv:"NAME"
+        ~doc:
+          "Only show methods whose label contains $(docv) (e.g. \"f\" \
+           matches \"Main.f\")")
+
+let why_t =
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Run a Mini function under the tiered JIT with the decision \
+          journal on and print each method's causal timeline: every \
+          promote/compile/install/deopt/invalidate decision with the \
+          trigger that caused it, annotated with source lines")
+    Term.(
+      const why_cmd $ tier_threshold $ jit_threads $ jit_queue $ trace_repeat
+      $ why_method $ file $ trace_fn $ rest)
+
+let health_t =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a Mini function under the tiered JIT and print a whole-run \
+          health report: detected pathologies (deopt loops, compile churn, \
+          cache thrash, megamorphic hot sites, blacklisted methods) with \
+          journal evidence and a suggested knob for each")
+    Term.(
+      const health_cmd $ tier_threshold $ jit_threads $ jit_queue
+      $ trace_repeat $ metrics_opt $ file $ trace_fn $ rest)
+
 let disasm_names =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")
 
@@ -424,5 +564,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "lancet" ~doc)
-          [ run_t; trace_t; profile_t; explain_t; disasm_t; verify_t;
-            compile_t; js_t ]))
+          [ run_t; trace_t; profile_t; explain_t; why_t; health_t; disasm_t;
+            verify_t; compile_t; js_t ]))

@@ -91,7 +91,7 @@ let stats_string t =
    dequeue (and later blacklist/install/retire) a request strictly after
    the enqueue's critical section, so its terminal [mtier] write can never
    be clobbered by the mutator's [Tier_compiling] mark racing it. *)
-let enqueue t (m : meth) =
+let enqueue ?(why = Forensics.Unattributed) t (m : meth) =
   let r, depth =
     locked t (fun () ->
         if (not t.stop) && Hashtbl.mem t.pending m.mid then begin
@@ -128,15 +128,25 @@ let enqueue t (m : meth) =
              mid = m.mid;
              gen = Vm.Runtime.tier_gen t.rt m.mid;
              depth;
-           })
-  | `Coalesced | `Dropped -> ());
+           });
+    if !Forensics.on then
+      Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m) ~cause:why
+        (Forensics.Enqueue { gen = Vm.Runtime.tier_gen t.rt m.mid; depth })
+  | `Dropped ->
+    if !Forensics.on then
+      Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+        ~cause:(Forensics.Queue_full { capacity = t.capacity })
+        Forensics.Drop
+  | `Coalesced -> ());
   r
 
 let jit_hook t (_rt : runtime) (m : meth) : jit_result =
   match m.mcode with
   | Native _ -> Jit_declined
   | Bytecode _ ->
-    ignore (enqueue t m);
+    ignore
+      (enqueue t m
+         ~why:(Forensics.Hotness { calls = m.mcalls; backedges = m.mbackedges }));
     (* even a dropped request answers [Jit_pending]: the method keeps
        interpreting and retries, it is not blacklisted *)
     Jit_pending
@@ -160,6 +170,10 @@ let blacklist t wid (m : meth) err =
     Obs.emit
       (Obs.Compile_blacklist
          { meth = Vm.Runtime.meth_label m; mid = m.mid; worker = wid; loc; err });
+  if !Forensics.on then
+    Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+      ~cause:(Forensics.Worker_failure { err })
+      (Forensics.Blacklist { err });
   t.log
     (Printf.sprintf "[bgjit] worker %d: blacklisted %s: %s" wid loc err)
 
@@ -227,6 +241,9 @@ let rec worker_loop t wid =
       Obs.emit
         (Obs.Compile_dequeue
            { meth = Vm.Runtime.meth_label m; mid = m.mid; worker = wid; depth });
+    if !Forensics.on then
+      Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+        (Forensics.Dequeue { depth });
     process t wid m;
     worker_loop t wid
 
@@ -282,7 +299,12 @@ let create ?threads ?queue ?log ~compile rt =
 let install t =
   t.saved_hook <- t.rt.jit_hook;
   t.rt.jit_hook <- Some (fun rt m -> jit_hook t rt m);
-  t.rt.tiering.t_bg_recompile <- Some (fun m -> ignore (enqueue t m))
+  t.rt.tiering.t_bg_recompile <-
+    Some
+      (fun m ->
+        ignore
+          (enqueue t m
+             ~why:(Forensics.Recompile_exit { tag = "deopt-recompile" })))
 
 let drain t =
   locked t (fun () ->

@@ -50,10 +50,12 @@ val install : t -> unit
     enqueueing hook and routes deopt-triggered recompiles through the
     queue ([t_bg_recompile]).  [shutdown] restores the previous hook. *)
 
-val enqueue : t -> meth -> [ `Queued | `Coalesced | `Dropped ]
+val enqueue :
+  ?why:Forensics.cause -> t -> meth -> [ `Queued | `Coalesced | `Dropped ]
 (** Request a (re)compile of [m].  Never blocks: a request for a method
     already pending coalesces, and a full queue drops the request (the
-    method returns to cold and retries on a later promotion). *)
+    method returns to cold and retries on a later promotion).  [why] is
+    the cause recorded in the decision journal when it is enabled. *)
 
 val drain : t -> unit
 (** Block until the queue is empty and no compile is in flight.  Test and

@@ -499,6 +499,15 @@ let frame_descs ?stop_before ctx ~(extra_innermost : rep list) :
 let side_exit ctx ~kind ~tag ~extra =
   if ctx.alloc_watch <> [] then
     check_alloc_watch ctx (Printf.sprintf "deoptimization point (%s)" tag);
+  if !Forensics.on then begin
+    (* journal the guard at plant time: `lancet why` can then show which
+       speculations a compile emitted even when none of them ever fires *)
+    let f = ctx.frame in
+    let m = f.sf_meth in
+    Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+      (Forensics.Guard_plant
+         { tag; pc = f.sf_pc; line = Vm.Runtime.line_at m f.sf_pc })
+  end;
   let frames = frame_descs ctx ~extra_innermost:extra in
   B.terminate ctx.bld (Ir.Exit { se_kind = kind; se_frames = frames; se_tag = tag })
 

@@ -75,6 +75,39 @@ let sink t =
     sink_flush = ignore;
   }
 
+(* ---- journal lookups (used when the decision journal ran) ---- *)
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+(* Causes the journal recorded for deopts at [(mid, pc)], deduped and in
+   first-occurrence order. *)
+let deopt_causes mid pc =
+  Forensics.for_mid mid
+  |> List.filter_map (fun (d : Forensics.decision) ->
+         match d.d_action with
+         | Forensics.Deopt e when e.pc = pc ->
+           let c = Forensics.cause_to_string d.d_cause in
+           if c = "" then None else Some c
+         | _ -> None)
+  |> dedup
+
+(* What the engine did about [mid]'s deopts/invalidation — the rest of the
+   causal chain, for the explain deopt-site disasm. *)
+let deopt_consequences mid =
+  Forensics.for_mid mid
+  |> List.filter_map (fun (d : Forensics.decision) ->
+         match d.d_action with
+         | Forensics.Invalidate _ | Forensics.Devirt_kill _
+         | Forensics.Blacklist _ | Forensics.Drop ->
+           let c = Forensics.cause_to_string d.d_cause in
+           Some
+             (Forensics.action_to_string d.d_action
+             ^ if c = "" then "" else " <- " ^ c)
+         | _ -> None)
+  |> dedup
+
 (* ---- rendering ---- *)
 
 let describe_compiles ?(timings = true) recs =
@@ -146,10 +179,17 @@ let render ?(timings = true) ?profiler t rt ~src =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
-    (fun ((_, pc), (d : deopt_rec)) ->
+    (fun ((mid, pc), (d : deopt_rec)) ->
+      let causes =
+        if !Forensics.on then
+          match deopt_causes mid pc with
+          | [] -> ""
+          | cs -> "; cause: " ^ String.concat "; " cs
+        else ""
+      in
       add_at d.xd_line
-        (Printf.sprintf "%s: deopt x%d @pc %d (%s, %s)" d.xd_label d.xd_count
-           pc d.xd_tag (kind_word d.xd_kind)))
+        (Printf.sprintf "%s: deopt x%d @pc %d (%s, %s)%s" d.xd_label d.xd_count
+           pc d.xd_tag (kind_word d.xd_kind) causes))
     deopt_sites;
   (* inline-cache sites, stable order: by (mid, pc).  State is read live
      from the runtime (the sites ARE the profile), not replayed from
@@ -198,4 +238,110 @@ let render ?(timings = true) ?profiler t rt ~src =
       (fun m -> Buffer.add_string b (Printf.sprintf "  - %s\n" m))
       (List.rev !unplaced)
   end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* `lancet why`: per-method causal timelines from the decision journal  *)
+
+let meth_header rt mid label =
+  match Vm.Runtime.find_method_by_id rt mid with
+  | Some m ->
+    let line = Vm.Runtime.meth_def_line m in
+    if line > 0 then
+      Printf.sprintf "%s (%s:%d)" label
+        (if m.Vm.Types.msrc = "" then "?" else m.Vm.Types.msrc)
+        line
+    else label
+  | None -> label
+
+(* Render the journal as one timeline per method, oldest decision first.
+   [meth] filters by label substring ("f" matches "Main.f").  Timestamps
+   are relative to the first journaled decision of the run. *)
+let why_report ?meth rt =
+  let t0 =
+    match Forensics.decisions () with
+    | d :: _ -> d.Forensics.d_ts
+    | [] -> 0.0
+  in
+  let keep label =
+    match meth with
+    | None -> true
+    | Some f -> Vm.Strutil.contains label f
+  in
+  let b = Buffer.create 2048 in
+  let groups =
+    List.filter (fun (_, label, _) -> keep label) (Forensics.timeline ())
+  in
+  if groups = [] then
+    Buffer.add_string b
+      (match meth with
+      | Some f ->
+        Printf.sprintf
+          "no journaled decisions for methods matching %S (did it get hot?)\n" f
+      | None ->
+        "no journaled decisions: nothing tiered up (lower --tier-threshold, \
+         or run longer)\n")
+  else
+    List.iter
+      (fun (mid, label, ds) ->
+        Buffer.add_string b
+          (Printf.sprintf "== %s ==\n" (meth_header rt mid label));
+        List.iter
+          (fun d ->
+            Buffer.add_string b
+              ("  " ^ Forensics.decision_to_string ~t0 d ^ "\n"))
+          ds;
+        Buffer.add_char b '\n')
+      groups;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* `lancet health`: whole-run pathology report                          *)
+
+let health_report rt =
+  let b = Buffer.create 2048 in
+  let t0 =
+    match Forensics.decisions () with
+    | d :: _ -> d.Forensics.d_ts
+    | [] -> 0.0
+  in
+  let paths = Forensics.detect () in
+  Buffer.add_string b
+    (Printf.sprintf "checked %d journaled decisions: %s\n\n" (Forensics.seen ())
+       (match List.length paths with
+       | 0 -> "no pathologies detected"
+       | 1 -> "1 pathology detected"
+       | n -> Printf.sprintf "%d pathologies detected" n));
+  List.iter
+    (fun (p : Forensics.pathology) ->
+      (* prefer the pathology's own source line (a deopt/IC site); fall
+         back to the method's defining line *)
+      let line =
+        if p.p_line > 0 then p.p_line
+        else
+          match Vm.Runtime.find_method_by_id rt p.p_mid with
+          | Some m -> Vm.Runtime.meth_def_line m
+          | None -> 0
+      in
+      let src =
+        match Vm.Runtime.find_method_by_id rt p.p_mid with
+        | Some m when m.Vm.Types.msrc <> "" -> m.Vm.Types.msrc
+        | _ -> "?"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "PATHOLOGY %s: %s%s\n" p.p_kind p.p_meth
+           (if line > 0 then Printf.sprintf " (%s:%d)" src line else ""));
+      Buffer.add_string b (Printf.sprintf "  %s\n" p.p_what);
+      if p.p_evidence <> [] then begin
+        Buffer.add_string b "  evidence:\n";
+        List.iter
+          (fun d ->
+            Buffer.add_string b
+              ("    " ^ Forensics.decision_to_string ~t0 d ^ "\n"))
+          p.p_evidence
+      end;
+      Buffer.add_string b (Printf.sprintf "  suggestion: %s\n\n" p.p_knob))
+    paths;
+  Buffer.add_string b
+    (Printf.sprintf "run stats: %s\n" (Vm.Runtime.tier_stats_string rt));
   Buffer.contents b

@@ -87,7 +87,9 @@ let compile_method_dyn rt (m : meth) :
       Obs.emit
         (Obs.Compile_start
            { meth = label; mid = m.mid; tier = 1; worker = Obs.worker_id () });
-    let t0 = if obs then Obs.now () else 0.0 in
+    (* the journal wants compile wall time too, so the clock runs whenever
+       either consumer is on *)
+    let t0 = if obs || !Forensics.on then Obs.now () else 0.0 in
     let emit_end backend fallback =
       if !Obs.enabled then begin
         let nodes_in, nodes_out = !C.last_node_counts in
@@ -116,6 +118,32 @@ let compile_method_dyn rt (m : meth) :
             (fun se vals ->
               let t = rt.tiering in
               t.t_deopts <- t.t_deopts + 1;
+              let se_pc =
+                match se.Lms.Ir.se_frames with
+                | fd :: _ -> fd.Lms.Ir.fd_pc
+                | [] -> -1
+              in
+              let se_line =
+                match se.Lms.Ir.se_frames with
+                | fd :: _ ->
+                  Vm.Runtime.line_at fd.Lms.Ir.fd_meth fd.Lms.Ir.fd_pc
+                | [] -> 0
+              in
+              if !Forensics.on then
+                Forensics.record ~mid:m.mid ~meth:label
+                  ~cause:
+                    (Forensics.Guard
+                       { tag = se.Lms.Ir.se_tag; pc = se_pc; line = se_line })
+                  (Forensics.Deopt
+                     {
+                       tag = se.Lms.Ir.se_tag;
+                       pc = se_pc;
+                       line = se_line;
+                       recompile =
+                         (match se.Lms.Ir.se_kind with
+                         | `Recompile -> true
+                         | `Interpret -> false);
+                     });
               if !Obs.enabled then
                 Obs.emit
                   (Obs.Deopt
@@ -127,22 +155,16 @@ let compile_method_dyn rt (m : meth) :
                          | `Interpret -> Obs.Interpret
                          | `Recompile -> Obs.Recompile);
                        tag = se.Lms.Ir.se_tag;
-                       pc =
-                         (match se.Lms.Ir.se_frames with
-                         | fd :: _ -> fd.Lms.Ir.fd_pc
-                         | [] -> -1);
-                       line =
-                         (* the innermost frame's own line table: with
-                            inlining the deopt site may sit in a callee *)
-                         (match se.Lms.Ir.se_frames with
-                         | fd :: _ ->
-                           Vm.Runtime.line_at fd.Lms.Ir.fd_meth
-                             fd.Lms.Ir.fd_pc
-                         | [] -> 0);
+                       (* the innermost frame's own pc/line table: with
+                          inlining the deopt site may sit in a callee *)
+                       pc = se_pc;
+                       line = se_line;
                      });
               (match se.Lms.Ir.se_kind with
               | `Recompile -> (
-                Vm.Runtime.tier_invalidate rt m;
+                Vm.Runtime.tier_invalidate
+                  ~why:(Forensics.Recompile_exit { tag = se.Lms.Ir.se_tag })
+                  rt m;
                 (* With background compilation installed, the rebuild goes
                    through the compile queue: the mutator resumes in the
                    interpreter immediately and a worker publishes the new
@@ -179,7 +201,15 @@ let compile_method_dyn rt (m : meth) :
                   (* repeated misses: speculation is now slower than generic
                      dispatch, so invalidate; the hot method re-promotes
                      against the retrained inline cache *)
-                  if !devirt_fails >= 2 then Vm.Runtime.tier_invalidate rt m
+                  if !devirt_fails >= 2 then
+                    Vm.Runtime.tier_invalidate
+                      ~why:
+                        (Forensics.Devirt_miss
+                           {
+                             target = String.sub tag 7 (String.length tag - 7);
+                             fails = !devirt_fails;
+                           })
+                      rt m
                 end);
               Vm.Interp.resume rt (C.reconstruct_frames se vals));
         }
@@ -198,6 +228,10 @@ let compile_method_dyn rt (m : meth) :
          recompiles share this path (satellite fix for the old asymmetry) *)
       rt.tiering.t_compiles <- rt.tiering.t_compiles + 1;
       emit_end backend fallback;
+      if !Forensics.on then
+        Forensics.record ~mid:m.mid ~meth:label
+          (Forensics.Compile_done
+             { backend; ms = (Obs.now () -. t0) *. 1000. });
       (!deps, epoch0)
     | exception e ->
       emit_end "failed" None;
@@ -232,8 +266,17 @@ let jit_hook rt (m : meth) : jit_result =
         Vm.Runtime.devirt_register rt deps m;
         Jit_compiled fn
       end
-      else if attempts > 1 then go (attempts - 1)
-      else Jit_declined
+      else begin
+        (* speculative code built across a hierarchy change: discarded
+           before it was ever installed *)
+        if !Forensics.on then
+          Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+            ~cause:
+              (Forensics.Epoch_mismatch
+                 { expected = epoch0; found = Vm.Runtime.hier_epoch rt })
+            Forensics.Discard;
+        if attempts > 1 then go (attempts - 1) else Jit_declined
+      end
   in
   go 3
 

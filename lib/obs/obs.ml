@@ -60,9 +60,11 @@ type event =
       line : int; (* source line of the side-exit site; 0 = unknown *)
     }
   | Tier_promote of { meth : string; mid : int; calls : int; backedges : int }
-  | Cache_install of { meth : string; mid : int; gen : int }
-  | Cache_evict of { meth : string; mid : int }
-  | Cache_invalidate of { meth : string; mid : int; gen : int }
+  | Cache_install of { meth : string; mid : int; gen : int; occ : int }
+      (* [occ] on the cache events is the number of resident compiled
+         methods just after the operation, for occupancy tracking *)
+  | Cache_evict of { meth : string; mid : int; occ : int }
+  | Cache_invalidate of { meth : string; mid : int; gen : int; occ : int }
   | Macro_expand of { name : string; in_meth : string }
   | Interp_call of { meth : string; mid : int; calls : int; backedges : int }
   | Exec_sample of { meth : string; mid : int; calls : int; ms : float; line : int }
@@ -88,7 +90,10 @@ type event =
       target : string; (* "name@ExpectedCls" the compiled guard tested *)
     }
 
-let kind_name = function
+(* THE event-kind renderer.  Every sink that prints a kind goes through
+   this one function (the per-sink match arms it replaces had drifted out
+   of sync as events were added across releases). *)
+let kind_to_string = function
   | Compile_start _ -> "compile-start"
   | Compile_end _ -> "compile-end"
   | Compile_enqueue _ -> "compile-enqueue"
@@ -113,11 +118,11 @@ let deopt_kind_name = function Interpret -> "interpret" | Recompile -> "recompil
 let to_string ev =
   match ev with
   | Compile_start e ->
-    Printf.sprintf "%-16s tier%d %s%s" (kind_name ev) e.tier e.meth
+    Printf.sprintf "%-16s tier%d %s%s" (kind_to_string ev) e.tier e.meth
       (if e.worker > 0 then Printf.sprintf " [worker %d]" e.worker else "")
   | Compile_end c ->
     Printf.sprintf "%-16s tier%d %-32s backend=%s%s nodes %d->%d %.2fms%s"
-      (kind_name ev) c.ci_tier c.ci_meth c.ci_backend
+      (kind_to_string ev) c.ci_tier c.ci_meth c.ci_backend
       (match c.ci_fallback with
       | Some r -> Printf.sprintf " (fallback: %s)" r
       | None -> "")
@@ -125,47 +130,64 @@ let to_string ev =
       (if c.ci_worker > 0 then Printf.sprintf " [worker %d]" c.ci_worker
        else "")
   | Compile_enqueue e ->
-    Printf.sprintf "%-16s %s gen=%d depth=%d" (kind_name ev) e.meth e.gen
+    Printf.sprintf "%-16s %s gen=%d depth=%d" (kind_to_string ev) e.meth e.gen
       e.depth
   | Compile_dequeue e ->
-    Printf.sprintf "%-16s %s [worker %d] depth=%d" (kind_name ev) e.meth
+    Printf.sprintf "%-16s %s [worker %d] depth=%d" (kind_to_string ev) e.meth
       e.worker e.depth
   | Compile_blacklist e ->
-    Printf.sprintf "%-16s %s [worker %d] at %s: %s" (kind_name ev) e.meth
+    Printf.sprintf "%-16s %s [worker %d] at %s: %s" (kind_to_string ev) e.meth
       e.worker e.loc e.err
   | Deopt e ->
-    Printf.sprintf "%-16s %s @pc %d%s (%s, %s)" (kind_name ev) e.meth e.pc
+    Printf.sprintf "%-16s %s @pc %d%s (%s, %s)" (kind_to_string ev) e.meth e.pc
       (if e.line > 0 then Printf.sprintf " line %d" e.line else "")
       e.tag (deopt_kind_name e.kind)
   | Tier_promote e ->
-    Printf.sprintf "%-16s %s (calls=%d backedges=%d)" (kind_name ev) e.meth
+    Printf.sprintf "%-16s %s (calls=%d backedges=%d)" (kind_to_string ev) e.meth
       e.calls e.backedges
   | Cache_install e ->
-    Printf.sprintf "%-16s %s gen=%d" (kind_name ev) e.meth e.gen
-  | Cache_evict e -> Printf.sprintf "%-16s %s" (kind_name ev) e.meth
+    Printf.sprintf "%-16s %s gen=%d occ=%d" (kind_to_string ev) e.meth e.gen
+      e.occ
+  | Cache_evict e ->
+    Printf.sprintf "%-16s %s occ=%d" (kind_to_string ev) e.meth e.occ
   | Cache_invalidate e ->
-    Printf.sprintf "%-16s %s gen=%d" (kind_name ev) e.meth e.gen
+    Printf.sprintf "%-16s %s gen=%d occ=%d" (kind_to_string ev) e.meth e.gen
+      e.occ
   | Macro_expand e ->
-    Printf.sprintf "%-16s %s in %s" (kind_name ev) e.name e.in_meth
+    Printf.sprintf "%-16s %s in %s" (kind_to_string ev) e.name e.in_meth
   | Interp_call e ->
-    Printf.sprintf "%-16s %s calls=%d backedges=%d" (kind_name ev) e.meth
+    Printf.sprintf "%-16s %s calls=%d backedges=%d" (kind_to_string ev) e.meth
       e.calls e.backedges
   | Exec_sample e ->
-    Printf.sprintf "%-16s %s calls=%d %.3fms" (kind_name ev) e.meth e.calls e.ms
+    Printf.sprintf "%-16s %s calls=%d %.3fms" (kind_to_string ev) e.meth e.calls e.ms
   | Stack_sample e ->
-    Printf.sprintf "%-16s %s" (kind_name ev)
+    Printf.sprintf "%-16s %s" (kind_to_string ev)
       (String.concat ";"
          (List.map
             (fun (m, l) -> if l > 0 then Printf.sprintf "%s:%d" m l else m)
             e.stack))
-  | Span_begin e -> Printf.sprintf "%-16s %s [%s]" (kind_name ev) e.name e.cat
+  | Span_begin e -> Printf.sprintf "%-16s %s [%s]" (kind_to_string ev) e.name e.cat
   | Span_end e ->
-    Printf.sprintf "%-16s %s [%s] %.3fms" (kind_name ev) e.name e.cat e.ms
+    Printf.sprintf "%-16s %s [%s] %.3fms" (kind_to_string ev) e.name e.cat e.ms
   | Ic_transition e ->
-    Printf.sprintf "%-16s %s @pc %d %s %s->%s" (kind_name ev) e.meth e.pc
+    Printf.sprintf "%-16s %s @pc %d %s %s->%s" (kind_to_string ev) e.meth e.pc
       e.callee e.from_state e.to_state
   | Devirt_guard_fail e ->
-    Printf.sprintf "%-16s %s @pc %d %s" (kind_name ev) e.meth e.pc e.target
+    Printf.sprintf "%-16s %s @pc %d %s" (kind_to_string ev) e.meth e.pc e.target
+
+(* The compilation-lifecycle subset, for -print-compilation-style logs:
+   everything a method's journey through the JIT produces, excluding the
+   high-frequency sampling/span noise.  Shared by the CLI's
+   --print-compilation filter so new event kinds show up there by default. *)
+let compilation_event = function
+  | Compile_start _ | Compile_end _ | Compile_enqueue _ | Compile_dequeue _
+  | Compile_blacklist _ | Deopt _ | Tier_promote _ | Cache_install _
+  | Cache_evict _ | Cache_invalidate _ | Ic_transition _ | Devirt_guard_fail _
+    ->
+    true
+  | Macro_expand _ | Interp_call _ | Exec_sample _ | Stack_sample _
+  | Span_begin _ | Span_end _ ->
+    false
 
 (* ------------------------------------------------------------------ *)
 (* The bus                                                             *)
@@ -407,7 +429,7 @@ module Chrome = struct
 
   let on_event t ~ts ev =
     let ts_us = (ts -. t.t0) *. 1e6 in
-    let ev_tag = str "ev" (kind_name ev) in
+    let ev_tag = str "ev" (kind_to_string ev) in
     match ev with
     | Compile_start e ->
       record t ~tid:(1 + e.worker) ~ph:"B" ~name:("compile " ^ e.meth)
@@ -445,12 +467,18 @@ module Chrome = struct
         [ ev_tag; int_ "calls" e.calls; int_ "backedges" e.backedges ]
     | Cache_install e ->
       record t ~ph:"i" ~name:("install " ^ e.meth) ~cat:"cache" ~ts_us
-        [ ev_tag; int_ "gen" e.gen ]
+        [ ev_tag; int_ "gen" e.gen ];
+      record t ~ph:"C" ~name:"code-cache-occupancy" ~cat:"cache" ~ts_us
+        [ int_ "resident" e.occ ]
     | Cache_evict e ->
-      record t ~ph:"i" ~name:("evict " ^ e.meth) ~cat:"cache" ~ts_us [ ev_tag ]
+      record t ~ph:"i" ~name:("evict " ^ e.meth) ~cat:"cache" ~ts_us [ ev_tag ];
+      record t ~ph:"C" ~name:"code-cache-occupancy" ~cat:"cache" ~ts_us
+        [ int_ "resident" e.occ ]
     | Cache_invalidate e ->
       record t ~ph:"i" ~name:("invalidate " ^ e.meth) ~cat:"cache" ~ts_us
-        [ ev_tag; int_ "gen" e.gen ]
+        [ ev_tag; int_ "gen" e.gen ];
+      record t ~ph:"C" ~name:"code-cache-occupancy" ~cat:"cache" ~ts_us
+        [ int_ "resident" e.occ ]
     | Macro_expand e ->
       record t ~ph:"i" ~name:("macro " ^ e.name) ~cat:"jit" ~ts_us
         [ ev_tag; str "in" e.in_meth ]

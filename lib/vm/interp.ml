@@ -257,6 +257,15 @@ let resume rt frame =
             ~hint
         in
         f.fcode.(f.pc - 1) <- Invoke (Virtual_ic site);
+        if !Forensics.on then
+          Forensics.record ~mid:f.fmeth.mid ~meth:(Runtime.meth_label f.fmeth)
+            (Forensics.Ic_state
+               {
+                 pc = f.pc - 1;
+                 line = Runtime.line_at f.fmeth (f.pc - 1);
+                 callee = name;
+                 state = "quickened";
+               });
         let m =
           match f.ostack.(f.sp - argc - 1) with
           | Obj o -> Inlinecache.dispatch f.fmeth site o

@@ -182,7 +182,18 @@ let rec tier_evict rt =
       t.t_evictions <- t.t_evictions + 1;
       if !Obs.enabled then
         Obs.emit
-          (Obs.Cache_evict { meth = meth_label e.ce_meth; mid = e.ce_meth.mid }))
+          (Obs.Cache_evict
+             {
+               meth = meth_label e.ce_meth;
+               mid = e.ce_meth.mid;
+               occ = Hashtbl.length t.t_cache;
+             });
+      if !Forensics.on then
+        Forensics.record ~mid:e.ce_meth.mid ~meth:(meth_label e.ce_meth)
+          ~cause:
+            (Forensics.Eviction_pressure
+               { occupancy = Hashtbl.length t.t_cache; capacity = t.t_cache_size })
+          Forensics.Evict)
 
 (* Record that [m]'s installed code speculates on virtual dispatch of each
    name in [deps] (caller holds [t_lock]); [hierarchy_changed] walks the
@@ -200,7 +211,10 @@ let devirt_register_unlocked rt deps (m : meth) =
       in
       if not (List.exists (fun (m' : meth) -> m'.mid = m.mid) !bucket) then
         bucket := m :: !bucket)
-    deps
+    deps;
+  if !Forensics.on && deps <> [] then
+    Forensics.record ~mid:m.mid ~meth:(meth_label m)
+      (Forensics.Devirt_install { deps })
 
 let devirt_register rt deps m =
   with_tier_lock rt (fun () -> devirt_register_unlocked rt deps m)
@@ -220,7 +234,16 @@ let tier_install_unlocked rt ?(deps = []) (m : meth) fn =
   m.mtier <- Tier_compiled fn;
   if !Obs.enabled then
     Obs.emit
-      (Obs.Cache_install { meth = meth_label m; mid = m.mid; gen = entry.ce_gen })
+      (Obs.Cache_install
+         {
+           meth = meth_label m;
+           mid = m.mid;
+           gen = entry.ce_gen;
+           occ = Hashtbl.length t.t_cache;
+         });
+  if !Forensics.on then
+    Forensics.record ~mid:m.mid ~meth:(meth_label m)
+      (Forensics.Install { gen = entry.ce_gen })
 
 let tier_install ?deps rt m fn =
   with_tier_lock rt (fun () -> tier_install_unlocked rt ?deps m fn)
@@ -246,12 +269,28 @@ let tier_install_if_current rt (m : meth) ~gen ?epoch ?(deps = []) fn =
         tier_install_unlocked rt ~deps m fn;
         true
       end
-      else false)
+      else begin
+        if !Forensics.on then
+          Forensics.record ~mid:m.mid ~meth:(meth_label m)
+            ~cause:
+              (if not epoch_ok then
+                 Forensics.Epoch_mismatch
+                   {
+                     expected = Option.value ~default:(-1) epoch;
+                     found = rt.tiering.t_hier_epoch;
+                   }
+               else
+                 Forensics.Gen_mismatch
+                   { expected = gen; found = tier_gen_unlocked rt m.mid })
+            Forensics.Discard;
+        false
+      end)
 
 (* Drop the installed code for [m] and bump its generation stamp, so that
    stale entries can never be re-activated (the [Lancet.stable] recompile
-   path and explicit invalidation both land here). *)
-let tier_invalidate_unlocked rt (m : meth) =
+   path and explicit invalidation both land here).  [why] is the journaled
+   cause: recompile exit, devirt-miss threshold, hierarchy change, ... *)
+let tier_invalidate_unlocked ?(why = Forensics.Unattributed) rt (m : meth) =
   let t = rt.tiering in
   Hashtbl.replace t.t_gen m.mid (tier_gen_unlocked rt m.mid + 1);
   Hashtbl.remove t.t_cache m.mid;
@@ -259,10 +298,18 @@ let tier_invalidate_unlocked rt (m : meth) =
   if !Obs.enabled then
     Obs.emit
       (Obs.Cache_invalidate
-         { meth = meth_label m; mid = m.mid; gen = tier_gen_unlocked rt m.mid })
+         {
+           meth = meth_label m;
+           mid = m.mid;
+           gen = tier_gen_unlocked rt m.mid;
+           occ = Hashtbl.length t.t_cache;
+         });
+  if !Forensics.on then
+    Forensics.record ~mid:m.mid ~meth:(meth_label m) ~cause:why
+      (Forensics.Invalidate { gen = tier_gen_unlocked rt m.mid })
 
-let tier_invalidate rt (m : meth) =
-  with_tier_lock rt (fun () -> tier_invalidate_unlocked rt m)
+let tier_invalidate ?why rt (m : meth) =
+  with_tier_lock rt (fun () -> tier_invalidate_unlocked ?why rt m)
 
 (* Invalidation fan-out for a dispatch-affecting hierarchy mutation (a
    non-static [Classfile.add_method]): flush every interpreter inline cache
@@ -282,12 +329,21 @@ let hierarchy_changed rt ~name =
   with_tier_lock rt (fun () ->
       Hashtbl.reset rt.cha_cache;
       rt.tiering.t_hier_epoch <- rt.tiering.t_hier_epoch + 1;
+      let why =
+        Forensics.Hier_change { epoch = rt.tiering.t_hier_epoch; name }
+      in
       match Hashtbl.find_opt rt.tiering.t_devirt_deps name with
       | None -> ()
       | Some bucket ->
         let ms = !bucket in
         Hashtbl.remove rt.tiering.t_devirt_deps name;
-        List.iter (fun m -> tier_invalidate_unlocked rt m) ms)
+        List.iter
+          (fun m ->
+            if !Forensics.on then
+              Forensics.record ~mid:m.mid ~meth:(meth_label m) ~cause:why
+                (Forensics.Devirt_kill { name });
+            tier_invalidate_unlocked ~why rt m)
+          ms)
 
 (* Promote a hot method through the installed [jit_hook]; a hook failure
    (or absence of a result) blacklists the method so we never retry. *)
@@ -305,6 +361,10 @@ let tier_promote rt (m : meth) : (value array -> value) option =
              calls = m.mcalls;
              backedges = m.mbackedges;
            });
+    if !Forensics.on then
+      Forensics.record ~mid:m.mid ~meth:(meth_label m)
+        ~cause:(Forensics.Hotness { calls = m.mcalls; backedges = m.mbackedges })
+        Forensics.Promote;
     (* [t_compiles] is counted at the single place a graph is actually
        built — [Tiering.compile_method_dyn] — so initial compiles and
        on-exit recompiles use the same accounting path. *)

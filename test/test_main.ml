@@ -9,6 +9,7 @@ let () =
       ("bgjit", Test_bgjit.suite);
       ("ic", Test_ic.suite);
       ("obs", Test_obs.suite);
+      ("forensics", Test_forensics.suite);
       ("provenance", Test_provenance.suite);
       ("csv", Test_csv.suite);
       ("optiml", Test_optiml.suite);

@@ -82,7 +82,7 @@ let test_no_sink_fast_path () =
   check_bool "disabled with no sink" false !Obs.enabled;
   let ring = Obs.Ring.create () in
   (* nothing attached: emit must deliver nothing, span must not record *)
-  Obs.emit (Obs.Cache_evict { meth = "x"; mid = 0 });
+  Obs.emit (Obs.Cache_evict { meth = "x"; mid = 0; occ = 0 });
   Obs.span "dead" (fun () -> ());
   check_int "nothing recorded" 0 (Obs.Ring.seen ring);
   let s = Obs.Ring.sink ring in
@@ -125,7 +125,7 @@ let test_promotion_sequence () =
   in
   check_subsequence "promotion"
     [ "tier-promote"; "compile-start"; "compile-end"; "cache-install" ]
-    (List.map Obs.kind_name mine);
+    (List.map Obs.kind_to_string mine);
   List.iter
     (fun ev ->
       match ev with
@@ -177,7 +177,7 @@ let test_deopt_recompile_sequence () =
   check_subsequence "recompile"
     [ "deopt"; "cache-invalidate"; "compile-start"; "compile-end";
       "cache-install" ]
-    (List.map Obs.kind_name mine);
+    (List.map Obs.kind_to_string mine);
   (match
      List.find_opt (function Obs.Deopt _ -> true | _ -> false) mine
    with
@@ -274,7 +274,7 @@ let test_spans () =
             (try Obs.span ~cat:"test" "raises" (fun () -> failwith "boom")
              with Failure _ -> ())))
   in
-  let kinds = List.map Obs.kind_name events in
+  let kinds = List.map Obs.kind_to_string events in
   Alcotest.(check (list string)) "nesting"
     [ "span-begin"; "span-begin"; "span-end"; "span-begin"; "span-end";
       "span-end" ]
