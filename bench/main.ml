@@ -844,6 +844,95 @@ let forensics_bench () =
   pr "\nwrote BENCH_forensics.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline introspection: disabled-checkpoint overhead                 *)
+
+(* Cost of one IR-trace checkpoint (`if !Irtrace.on then ...`) with tracing
+   disabled.  The sites sit inside the staging emit path, the DCE filter
+   and both backends' guard-lowering loops — hotter code than the journal's
+   tiering slow paths — so the same brutal budget applies: < 1ns over the
+   bare loop, a single load+branch, with the miss payload allocated only
+   under the guard. *)
+let irtrace_overhead ~iters =
+  Irtrace.disable ();
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline () =
+    for i = 1 to iters do
+      body i
+    done
+  in
+  let guarded () =
+    for i = 1 to iters do
+      body i;
+      if !Irtrace.on then
+        Irtrace.record_miss ~phase:"stage" ~mid:0 ~pc:i ~line:1
+          (Irtrace.Cse_effect_barrier { op = "bench" })
+    done
+  in
+  let min_of f =
+    ignore (time f);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let b = min_of baseline in
+  let g = min_of guarded in
+  ignore !acc;
+  Float.max 0. ((g -. b) /. float_of_int iters *. 1e9)
+
+let irtrace_guard ~iters =
+  let ns = irtrace_overhead ~iters in
+  if ns > 1.0 then
+    failwith
+      (Printf.sprintf
+         "irtrace: disabled IR-trace checkpoint costs %.2fns (> 1ns budget)"
+         ns)
+
+let irtrace_bench () =
+  header "Pipeline introspection: IR-trace checkpoint overhead";
+  let iters = 20_000_000 in
+  let off_ns = irtrace_overhead ~iters in
+  pr "\n%-36s %10.2f ns/site\n" "irtrace disabled (single branch)" off_ns;
+  (* enabled cost of the miss recorder: sites dedup by (mid, pc, reason),
+     so steady-state records are a hash probe plus a counter bump *)
+  Irtrace.enable ();
+  let acc = ref 0 in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let rec_iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to rec_iters do
+    body i;
+    if !Irtrace.on then
+      Irtrace.record_miss ~phase:"stage" ~mid:0 ~pc:(i land 63) ~line:1
+        (Irtrace.Cse_effect_barrier { op = "bench" })
+  done;
+  let on_total = Unix.gettimeofday () -. t0 in
+  ignore !acc;
+  let sites = List.length (Irtrace.misses ()) in
+  Irtrace.disable ();
+  let on_ns = on_total /. float_of_int rec_iters *. 1e9 in
+  pr "%-36s %10.2f ns/site  (%d deduped sites)\n"
+    "irtrace enabled (dedup counter)" on_ns sites;
+  irtrace_guard ~iters:2_000_000;
+  let oc = open_out "BENCH_irtrace.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n  \"iters\": %d,\n  \"disabled_checkpoint_ns_per_site\": %.3f,\n  \
+        \"budget_ns\": 1.0,\n  \"enabled_record_ns_per_site\": %.3f,\n  \
+        \"deduped_sites\": %d\n}\n"
+       iters off_ns on_ns sites);
+  close_out oc;
+  pr "\nwrote BENCH_irtrace.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch: interpreter inline caches and speculative devirtualization *)
 
 (* A hierarchy shaped like real OO code, so the baseline vtable walk has
@@ -1337,6 +1426,7 @@ let tier_check () =
   obs_guard ~iters:2_000_000;
   profile_guard ~iters:2_000_000;
   forensics_guard ~iters:2_000_000;
+  irtrace_guard ~iters:2_000_000;
   pr "tiered execution check ok\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1357,6 +1447,7 @@ let () =
   | "obs" -> obs_bench ()
   | "profile" -> profile_bench ()
   | "forensics" -> forensics_bench ()
+  | "irtrace" -> irtrace_bench ()
   | "bgjit" -> bgjit_bench ()
   | "dispatch" -> dispatch_bench ()
   | "check" -> tier_check ()
@@ -1371,6 +1462,7 @@ let () =
     obs_bench ();
     profile_bench ();
     forensics_bench ();
+    irtrace_bench ();
     bgjit_bench ();
     dispatch_bench ()
   | other ->

@@ -227,10 +227,11 @@ let profile_cmd threshold repeat interval out file fn args =
 
 (* ---- explain: source annotated with tier/compile/deopt decisions ---- *)
 
-let explain_cmd threshold repeat interval no_residency file fn args =
+let explain_cmd threshold repeat interval no_residency ir file fn args =
   (* the decision journal feeds deopt *causes* into the annotations and the
      per-site disasm *)
   Forensics.enable ();
+  if ir then Irtrace.enable ();
   let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
   let x = Lancet.Explain.create () in
   Obs.attach (Lancet.Explain.sink x);
@@ -251,8 +252,49 @@ let explain_cmd threshold repeat interval no_residency file fn args =
   (match prof with Some pr -> Profiler.profiled pr run | None -> run ());
   Obs.flush ();
   Format.printf "result: %a@.@." Vm.Value.pp !v;
-  print_string (Lancet.Explain.render ?profiler:prof x rt ~src);
+  print_string (Lancet.Explain.render ~ir ?profiler:prof x rt ~src);
   print_deopt_sites rt !deopts;
+  0
+
+(* ---- ir: per-phase IR snapshots of every compile, with pass diffs ---- *)
+
+let ir_cmd threshold jit_threads jit_queue repeat meth phase diff file fn args =
+  (* keep the pretty-printed IR text around: this verb exists to show it *)
+  Irtrace.enable ~keep_text:true ();
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:threshold ~jit_threads
+      ~jit_queue ()
+  in
+  let p = Mini.Front.load ~file rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  for _ = 1 to max 1 repeat do
+    v := Mini.Front.call p fn argv
+  done;
+  (match pool with Some b -> Bgjit.drain b | None -> ());
+  Obs.flush ();
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Lancet.Explain.ir_report ?meth ?phase ~diff ());
+  (match pool with Some b -> Bgjit.shutdown b | None -> ());
+  0
+
+(* ---- coach: ranked missed-optimization report with fix suggestions ---- *)
+
+let coach_cmd threshold repeat interval file fn args =
+  (* node counts and fingerprints only — no need to retain IR text *)
+  Irtrace.enable ();
+  let rt = Lancet.Api.boot ~tiering:true ~tier_threshold:threshold () in
+  let prof = Profiler.create ~interval_ms:interval () in
+  let p = Mini.Front.load ~file rt (read_file file) in
+  let argv = Array.of_list (List.map parse_arg args) in
+  let v = ref Vm.Types.Null in
+  Profiler.profiled prof (fun () ->
+      for _ = 1 to max 1 repeat do
+        v := Mini.Front.call p fn argv
+      done);
+  Obs.flush ();
+  Format.printf "result: %a@.@." Vm.Value.pp !v;
+  print_string (Lancet.Explain.coach_report ~profiler:prof rt);
   0
 
 (* ---- why: per-method causal timelines from the decision journal ---- *)
@@ -485,6 +527,14 @@ let no_residency_flag =
     & info [ "no-residency" ]
         ~doc:"Skip the sampling profiler (annotate JIT decisions only)")
 
+let explain_ir_flag =
+  Arg.(
+    value & flag
+    & info [ "ir" ]
+        ~doc:
+          "Also annotate each line with the number of IR nodes it \
+           contributed to each compiler phase (stage / dce / backend)")
+
 let explain_t =
   Cmd.v
     (Cmd.info "explain"
@@ -494,7 +544,59 @@ let explain_t =
           sites and profile residency")
     Term.(
       const explain_cmd $ tier_threshold $ trace_repeat $ sample_interval
-      $ no_residency_flag $ file $ trace_fn $ rest)
+      $ no_residency_flag $ explain_ir_flag $ file $ trace_fn $ rest)
+
+let ir_method =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "method" ] ~docv:"NAME"
+        ~doc:"Only show compiles whose method label contains $(docv)")
+
+let ir_phase =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "phase" ] ~docv:"PHASE"
+        ~doc:
+          "Only show snapshots whose phase name contains $(docv) (phases: \
+           stage, dce, guards:<backend>, schedule:<backend>)")
+
+let ir_diff_flag =
+  Arg.(
+    value & flag
+    & info [ "diff" ]
+        ~doc:
+          "Show the structural delta between consecutive phases of each \
+           compile: node-count change, op kinds created/eliminated, and \
+           per-source-line node deltas")
+
+let ir_t =
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:
+         "Run a Mini function under the tiered JIT, capturing an IR \
+          snapshot of every compile after each pipeline phase (staging, \
+          DCE, guard lowering, backend scheduling), and print the \
+          snapshots with node counts, per-line attribution and structural \
+          fingerprints")
+    Term.(
+      const ir_cmd $ tier_threshold $ jit_threads $ jit_queue $ trace_repeat
+      $ ir_method $ ir_phase $ ir_diff_flag $ file $ trace_fn $ rest)
+
+let coach_t =
+  Cmd.v
+    (Cmd.info "coach"
+       ~doc:
+         "Run a Mini function under the tiered JIT with the \
+          missed-optimization recorder and the sampling profiler on, then \
+          print a ranked report of optimizations the compiler declined \
+          (effect-blocked CSE, megamorphic devirtualization, unfused \
+          guards, ...) with source locations, hotness, and a suggested fix \
+          for each")
+    Term.(
+      const coach_cmd $ tier_threshold $ trace_repeat $ sample_interval
+      $ file $ trace_fn $ rest)
 
 let why_method =
   Arg.(
@@ -564,5 +666,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "lancet" ~doc)
-          [ run_t; trace_t; profile_t; explain_t; why_t; health_t; disasm_t;
-            verify_t; compile_t; js_t ]))
+          [ run_t; trace_t; profile_t; explain_t; ir_t; coach_t; why_t;
+            health_t; disasm_t; verify_t; compile_t; js_t ]))

@@ -1398,12 +1398,31 @@ and do_virtual ctx name argc hint site :
         add_devirt_dep ctx name;
         do_speculate_mono ctx name args entry
       | _ :: _ as entries ->
+        (* a dispatch chain beats generic dispatch but is still a declined
+           monomorphic devirtualization — worth a coach record *)
+        if !Irtrace.on then record_devirt_decline ctx name site;
         add_devirt_dep ctx name;
         do_dispatch_chain ctx name argc args entries
       | [] ->
         Errors.warn "devirtualize" "could not devirtualize call to %s" name;
+        if !Irtrace.on then record_devirt_decline ctx name site;
         residual_virtual ctx name argc args;
         `Ok))
+
+and record_devirt_decline ctx name site =
+  let f = ctx.frame in
+  let pc = f.sf_pc - 1 (* sf_pc already advanced past the invoke *) in
+  let ic_state =
+    if not ctx.opts.feedback then "feedback-off"
+    else
+      match site with
+      | None -> "no-profile"
+      | Some s -> Vm.Inlinecache.state_string s
+  in
+  Irtrace.record_miss ~phase:(Phases.name Phases.Stage) ~mid:f.sf_meth.mid
+    ~meth:(Vm.Runtime.meth_label f.sf_meth) ~pc
+    ~line:(Vm.Runtime.line_at f.sf_meth pc)
+    (Irtrace.Devirt_declined { callee = name; ic_state })
 
 (* Monomorphic speculation (the paper's [speculate] shape): compare the
    receiver's class id against the single observed class and call (and
@@ -1683,9 +1702,18 @@ let make_ctx ?(opts = default_options) rt nparams =
    dead-code elimination).  Read by [Tiering] to fill [Compile_end] events. *)
 let last_node_counts = ref (0, 0)
 
+(* "dsd" = dyn,static,dyn — the specialization key rendered for Irtrace. *)
+let spec_string (spec : arg_spec array) =
+  String.concat ""
+    (Array.to_list
+       (Array.map (function Dyn -> "d" | Static_value _ -> "s") spec))
+
 let stage ?(opts = default_options) ?deps rt (m : meth) (spec : arg_spec array)
     : Ir.graph =
-  Obs.span ~cat:"jit" ("stage:" ^ opts.name) (fun () ->
+  Obs.span ~cat:Phases.cat_jit (Phases.span_stage opts.name) (fun () ->
+      if !Irtrace.on then
+        Irtrace.begin_compile ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+          ~spec:(spec_string spec);
       let ndyn =
         Array.fold_left (fun n s -> match s with Dyn -> n + 1 | _ -> n) 0 spec
       in
@@ -1710,7 +1738,12 @@ let stage ?(opts = default_options) ?deps rt (m : meth) (spec : arg_spec array)
       | Diverge -> ());
       let g = B.graph ctx.bld in
       let before = Ir.node_count g in
-      Obs.span ~cat:"jit" "opt:dce" (fun () -> Ir.dead_code_elim g);
+      if !Irtrace.on then
+        Lms.Snapshot.take g Phases.Stage
+          ~meta:[ ("cse_hits", string_of_int (B.cse_hits ctx.bld)) ];
+      Obs.span ~cat:Phases.cat_jit Phases.span_dce (fun () ->
+          Ir.dead_code_elim g);
+      if !Irtrace.on then Lms.Snapshot.take g Phases.Dce;
       last_node_counts := (before, Ir.node_count g);
       (match deps with Some r -> r := ctx.devirt_deps | None -> ());
       g)

@@ -133,7 +133,7 @@ let kind_word = function
 (* Annotate [src] (the Mini program text) with everything [t] recorded.
    Events whose method has no line table (or which point outside [src]) are
    listed at the end rather than dropped. *)
-let render ?(timings = true) ?profiler t rt ~src =
+let render ?(timings = true) ?(ir = false) ?profiler t rt ~src =
   let lines = String.split_on_char '\n' src in
   let nlines = List.length lines in
   let ann : (int, string list ref) Hashtbl.t = Hashtbl.create 32 in
@@ -220,6 +220,63 @@ let render ?(timings = true) ?profiler t rt ~src =
             (Printf.sprintf "residency: %d interp samples, %.2fms compiled"
                ls.Profiler.ls_samples ls.Profiler.ls_exec_ms))
       (Profiler.line_stats p));
+  (* --ir: per-line surviving-node counts per phase, from each method's most
+     recent compile (Irtrace must have been enabled during the run) *)
+  if ir then begin
+    let snaps = Irtrace.snapshots () in
+    (* last compile per (mid, spec) *)
+    let last_cid : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (sn : Irtrace.snapshot) ->
+        let k = (sn.Irtrace.sn_mid, sn.Irtrace.sn_spec) in
+        match Hashtbl.find_opt last_cid k with
+        | Some c when c >= sn.Irtrace.sn_cid -> ()
+        | _ -> Hashtbl.replace last_cid k sn.Irtrace.sn_cid)
+      snaps;
+    (* phase order and per-(line, phase) counts of the surviving compiles *)
+    let phases : (int * string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let counts = Hashtbl.create 64 in
+    let labels = Hashtbl.create 8 in
+    let lines_of = Hashtbl.create 64 in
+    List.iter
+      (fun (sn : Irtrace.snapshot) ->
+        let k = (sn.Irtrace.sn_mid, sn.Irtrace.sn_spec) in
+        if Hashtbl.find_opt last_cid k = Some sn.Irtrace.sn_cid then begin
+          Hashtbl.replace labels k sn.Irtrace.sn_meth;
+          (match Hashtbl.find_opt phases k with
+          | Some l -> l := sn.Irtrace.sn_phase :: !l
+          | None -> Hashtbl.replace phases k (ref [ sn.Irtrace.sn_phase ]));
+          List.iter
+            (fun (line, c) ->
+              Hashtbl.replace counts (k, line, sn.Irtrace.sn_phase) c;
+              if not (List.mem line (Option.value ~default:[]
+                                       (Hashtbl.find_opt lines_of k)))
+              then
+                Hashtbl.replace lines_of k
+                  (line :: Option.value ~default:[] (Hashtbl.find_opt lines_of k)))
+            sn.Irtrace.sn_lines
+        end)
+      snaps;
+    Hashtbl.iter
+      (fun k lns ->
+        let ph = List.rev !(Hashtbl.find phases k) in
+        let label = try Hashtbl.find labels k with Not_found -> "" in
+        List.iter
+          (fun line ->
+            let cells =
+              List.map
+                (fun p ->
+                  Printf.sprintf "%s %d" p
+                    (Option.value ~default:0
+                       (Hashtbl.find_opt counts (k, line, p))))
+                ph
+            in
+            add_at line
+              (Printf.sprintf "%s: ir nodes %s" label
+                 (String.concat " -> " cells)))
+          (List.sort compare lns))
+      lines_of
+  end;
   let b = Buffer.create 4096 in
   List.iteri
     (fun i line ->
@@ -286,10 +343,24 @@ let why_report ?meth rt =
       (fun (mid, label, ds) ->
         Buffer.add_string b
           (Printf.sprintf "== %s ==\n" (meth_header rt mid label));
+        (* fingerprints repeat when a recompile reproduced the same graph;
+           flag those so "recompiled but nothing changed" is visible *)
+        let seen_fps = Hashtbl.create 4 in
         List.iter
           (fun d ->
+            let extra =
+              match d.Forensics.d_action with
+              | Forensics.Ir_fingerprint { fp; _ } ->
+                if Hashtbl.mem seen_fps fp then
+                  "  (identical to previous compile)"
+                else begin
+                  Hashtbl.replace seen_fps fp ();
+                  ""
+                end
+              | _ -> ""
+            in
             Buffer.add_string b
-              ("  " ^ Forensics.decision_to_string ~t0 d ^ "\n"))
+              ("  " ^ Forensics.decision_to_string ~t0 d ^ extra ^ "\n"))
           ds;
         Buffer.add_char b '\n')
       groups;
@@ -344,4 +415,226 @@ let health_report rt =
     paths;
   Buffer.add_string b
     (Printf.sprintf "run stats: %s\n" (Vm.Runtime.tier_stats_string rt));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* `lancet ir`: pass-by-pass snapshots with structural diffs           *)
+
+let short_fp fp = if String.length fp > 12 then String.sub fp 0 12 else fp
+
+let fmt_counts cs =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) cs)
+
+(* Render the Irtrace snapshot store, one section per compile, filtered by
+   method-label substring and phase-name substring.  With [diff], each
+   phase transition prints what it created/eliminated and which source
+   line's nodes went away. *)
+let ir_report ?(meth = "") ?(phase = "") ?(diff = false) () =
+  let snaps = Irtrace.snapshots () in
+  let groups : (int, Irtrace.snapshot list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (sn : Irtrace.snapshot) ->
+      match Hashtbl.find_opt groups sn.Irtrace.sn_cid with
+      | Some l -> l := sn :: !l
+      | None ->
+        Hashtbl.replace groups sn.Irtrace.sn_cid (ref [ sn ]);
+        order := sn.Irtrace.sn_cid :: !order)
+    snaps;
+  let b = Buffer.create 4096 in
+  let shown = ref 0 in
+  List.iter
+    (fun cid ->
+      let sns = List.rev !(Hashtbl.find groups cid) in
+      match sns with
+      | [] -> ()
+      | first :: _ ->
+        if meth = "" || Vm.Strutil.contains first.Irtrace.sn_meth meth then begin
+          Buffer.add_string b
+            (Printf.sprintf "== %s [%s] compile #%d ==\n" first.Irtrace.sn_meth
+               first.Irtrace.sn_spec cid);
+          let prev = ref None in
+          List.iter
+            (fun (sn : Irtrace.snapshot) ->
+              (if diff then
+                 match !prev with
+                 | Some p ->
+                   let d = Irtrace.diff p sn in
+                   if d.Irtrace.df_created <> [] || d.Irtrace.df_eliminated <> []
+                   then begin
+                     let from_n, to_n = d.Irtrace.df_nodes in
+                     Buffer.add_string b
+                       (Printf.sprintf "  delta %s -> %s: %+d nodes\n"
+                          d.Irtrace.df_from d.Irtrace.df_to (to_n - from_n));
+                     if d.Irtrace.df_eliminated <> [] then
+                       Buffer.add_string b
+                         (Printf.sprintf "    eliminated: %s\n"
+                            (fmt_counts d.Irtrace.df_eliminated));
+                     if d.Irtrace.df_created <> [] then
+                       Buffer.add_string b
+                         (Printf.sprintf "    created:    %s\n"
+                            (fmt_counts d.Irtrace.df_created));
+                     List.iter
+                       (fun (line, dl) ->
+                         Buffer.add_string b
+                           (Printf.sprintf "    line %d: %+d nodes\n" line dl))
+                       d.Irtrace.df_lines
+                   end
+                 | None -> ());
+              prev := Some sn;
+              if Phases.matches ~filter:phase sn.Irtrace.sn_phase then begin
+                incr shown;
+                Buffer.add_string b
+                  (Printf.sprintf "-- %s: %d nodes / %d blocks  fp %s%s --\n"
+                     sn.Irtrace.sn_phase sn.Irtrace.sn_nodes sn.Irtrace.sn_blocks
+                     (short_fp sn.Irtrace.sn_fp)
+                     (match sn.Irtrace.sn_meta with
+                     | [] -> ""
+                     | meta ->
+                       "  ("
+                       ^ String.concat ", "
+                           (List.map (fun (k, v) -> k ^ "=" ^ v) meta)
+                       ^ ")"));
+                if sn.Irtrace.sn_ops <> [] then
+                  Buffer.add_string b
+                    (Printf.sprintf "   ops: %s\n" (fmt_counts sn.Irtrace.sn_ops));
+                match sn.Irtrace.sn_text with
+                | Some t ->
+                  Buffer.add_string b t;
+                  Buffer.add_char b '\n'
+                | None -> ()
+              end)
+            sns;
+          Buffer.add_char b '\n'
+        end)
+    (List.rev !order);
+  if !shown = 0 then
+    Buffer.add_string b
+      "no IR snapshots matched: nothing tiered up (lower --tier-threshold or \
+       run longer), or the --method/--phase filters excluded everything\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* `lancet coach`: missed optimizations ranked by profile residency     *)
+
+let miss_suggestion (m : Irtrace.missed) =
+  match m.Irtrace.ms_reason with
+  | Irtrace.Cse_effect_barrier { op } ->
+    Printf.sprintf
+      "hoist the repeated '%s' into a local (val x = ...): the JIT must \
+       reload it because it cannot prove the location unchanged" op
+  | Irtrace.Dce_kept_effectful { op } ->
+    Printf.sprintf
+      "'%s' computes a value nobody reads but cannot be deleted (it may have \
+       effects); drop the expression or use its result" op
+  | Irtrace.Devirt_declined { callee; ic_state } ->
+    if ic_state = "mega" then
+      Printf.sprintf
+        "the '%s' site is megamorphic, so the JIT emits generic dispatch; \
+         split the call site per receiver class to re-enable guarded direct \
+         calls" callee
+    else if String.length ic_state >= 4 && String.sub ic_state 0 4 = "poly"
+    then
+      Printf.sprintf
+        "the '%s' site saw several receiver classes (%s): a dispatch chain \
+         replaced the direct call; narrow the receiver mix for a single \
+         guarded call" callee ic_state
+    else if ic_state = "feedback-off" then
+      "run under the tiered JIT (type feedback on) so the inline cache can \
+       seed devirtualization"
+    else
+      Printf.sprintf
+        "the inline cache had no profile for '%s' when the method compiled; \
+         warm the site up before promotion or raise --tier-threshold" callee
+  | Irtrace.Guard_fusion_declined { why; _ } ->
+    if why = "multi-use" then
+      "the branch condition is also used elsewhere, so the guard cannot fuse \
+       into the branch; recompute the compare at the branch site for a bare \
+       compare-and-branch"
+    else if why = "materialized-bool" then
+      "the compare was lowered to a 0/1 value before the branch (a boolean \
+       local or speculation argument), so the guard re-tests the \
+       materialized value; inline the compare into the branch condition"
+    else
+      "the branch condition is computed in a different block; move the \
+       compare next to the branch so the backend can fuse it"
+
+let coach_report ?profiler rt =
+  let misses = Irtrace.misses () in
+  let b = Buffer.create 2048 in
+  if misses = [] then
+    Buffer.add_string b
+      "no missed-optimization records: either nothing was compiled (lower \
+       --tier-threshold or run longer) or the pipeline found nothing to \
+       decline\n"
+  else begin
+    (* residency by source line, for ranking *)
+    let total_samples = ref 0 in
+    let by_line = Hashtbl.create 32 in
+    (match profiler with
+    | None -> ()
+    | Some p ->
+      List.iter
+        (fun (line, (ls : Profiler.line_stat)) ->
+          total_samples := !total_samples + ls.Profiler.ls_samples;
+          Hashtbl.replace by_line line ls)
+        (Profiler.line_stats p));
+    let residency (m : Irtrace.missed) =
+      match Hashtbl.find_opt by_line m.Irtrace.ms_line with
+      | Some (ls : Profiler.line_stat) ->
+        (ls.Profiler.ls_samples, ls.Profiler.ls_exec_ms)
+      | None -> (0, 0.0)
+    in
+    let ranked =
+      List.sort
+        (fun a b ->
+          let sa, ma = residency a and sb, mb = residency b in
+          match compare (sb, mb) (sa, ma) with
+          | 0 -> compare b.Irtrace.ms_count a.Irtrace.ms_count
+          | c -> c)
+        misses
+    in
+    let loc (m : Irtrace.missed) =
+      let src =
+        match Vm.Runtime.find_method_by_id rt m.Irtrace.ms_mid with
+        | Some meth when meth.Vm.Types.msrc <> "" -> meth.Vm.Types.msrc
+        | _ -> "?"
+      in
+      if m.Irtrace.ms_line > 0 then
+        Printf.sprintf "%s:%d" src m.Irtrace.ms_line
+      else src
+    in
+    let label (m : Irtrace.missed) =
+      if m.Irtrace.ms_meth <> "" then m.Irtrace.ms_meth
+      else
+        match Vm.Runtime.find_method_by_id rt m.Irtrace.ms_mid with
+        | Some meth -> Vm.Runtime.meth_label meth
+        | None -> Printf.sprintf "mid %d" m.Irtrace.ms_mid
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%d missed-optimization site%s, hottest first:\n\n"
+         (List.length ranked)
+         (if List.length ranked = 1 then "" else "s"));
+    List.iteri
+      (fun i (m : Irtrace.missed) ->
+        let samples, exec_ms = residency m in
+        let hot =
+          if samples > 0 && !total_samples > 0 then
+            Printf.sprintf "  [hot: %d%% of interp samples%s]"
+              (100 * samples / !total_samples)
+              (if exec_ms > 0.0 then Printf.sprintf " + %.1fms compiled" exec_ms
+               else "")
+          else if exec_ms > 0.0 then
+            Printf.sprintf "  [hot: %.1fms compiled]" exec_ms
+          else ""
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%2d. %s (%s)%s\n" (i + 1) (loc m) (label m) hot);
+        Buffer.add_string b
+          (Printf.sprintf "    %s  [%s, x%d]\n"
+             (Irtrace.reason_to_string m.Irtrace.ms_reason)
+             m.Irtrace.ms_phase m.Irtrace.ms_count);
+        Buffer.add_string b (Printf.sprintf "    fix: %s\n\n" (miss_suggestion m)))
+      ranked
+  end;
   Buffer.contents b

@@ -110,6 +110,15 @@ let compile_method_dyn rt (m : meth) :
     in
     match
       let g = C.stage ~opts ~deps rt m spec in
+      (* journal the optimized graph's structural fingerprint: `lancet why`
+         renders it and flags recompiles that produced identical code *)
+      if !Forensics.on then
+        Forensics.record ~mid:m.mid ~meth:label
+          (Forensics.Ir_fingerprint
+             {
+               phase = Phases.name Phases.Dce;
+               fp = Lms.Snapshot.fingerprint g;
+             });
       let base = Lms.Closure_backend.default_hooks rt in
       let hooks =
         {

@@ -10,6 +10,10 @@ type t = {
   mutable cur : block option;
   consts : (string, sym) Hashtbl.t;
   mutable cse : (string, sym) Hashtbl.t; (* scope: current block *)
+  mutable loads : (string, unit) Hashtbl.t;
+      (* effect-tagged loads since the last write (scope: current block);
+         only maintained while Irtrace is on — see [track_load] *)
+  mutable cse_hits : int; (* node emissions avoided by hash-consing *)
   mutable cur_prov : prov option; (* stamped onto emitted nodes *)
 }
 
@@ -22,6 +26,8 @@ let create ?name ~nparams () =
     cur = Some entry;
     consts = Hashtbl.create 32;
     cse = Hashtbl.create 32;
+    loads = Hashtbl.create 8;
+    cse_hits = 0;
     cur_prov = None;
   }
 
@@ -74,25 +80,64 @@ let param t i ty =
     Hashtbl.replace t.consts key s;
     s
 
+(* Missed-CSE watcher (Irtrace only): [op_key] collapses effectful ops to
+   "effectful", so the shadow table gets its own key carrying the location
+   identity.  A repeated load under an unchanged table is exactly the
+   hash-cons the effect system blocked; any potentially-writing op clears
+   the table, because a reload after a write is required, not a miss. *)
+let load_key op args =
+  let b = Buffer.create 16 in
+  let add = Buffer.add_string b in
+  (match op with
+  | Getfield f -> add ("gf" ^ f.Vm.Types.fowner ^ "." ^ string_of_int f.Vm.Types.fidx)
+  | Getglobal i -> add ("gg" ^ string_of_int i)
+  | Aload -> add "al"
+  | Faload -> add "fal"
+  | _ -> ());
+  Array.iter (fun a -> add (":" ^ string_of_int a)) args;
+  Buffer.contents b
+
+let track_load t op args =
+  match op with
+  | Getfield _ | Getglobal _ | Aload | Faload ->
+    let key = load_key op args in
+    if Hashtbl.mem t.loads key then (
+      match t.cur_prov with
+      | Some p ->
+        Irtrace.record_miss ~phase:(Phases.name Phases.Stage) ~mid:p.pv_mid
+          ~pc:p.pv_pc ~line:p.pv_line
+          (Irtrace.Cse_effect_barrier { op = op_tag op })
+      | None -> ())
+    else Hashtbl.replace t.loads key ()
+  | _ -> Hashtbl.reset t.loads (* a write or call may clobber any location *)
+
 let emit t op args ty =
   let b = current t in
-  if op_effectful op then add_node ?prov:t.cur_prov t.g b ~op ~args ~ty
+  if op_effectful op then begin
+    if !Irtrace.on then track_load t op args;
+    add_node ?prov:t.cur_prov t.g b ~op ~args ~ty
+  end
   else begin
     let key = op_key op args in
     (* CSE: the first node (and its provenance) wins for later duplicates *)
     match Hashtbl.find_opt t.cse key with
-    | Some s -> s
+    | Some s ->
+      t.cse_hits <- t.cse_hits + 1;
+      s
     | None ->
       let s = add_node ?prov:t.cur_prov t.g b ~op ~args ~ty in
       Hashtbl.replace t.cse key s;
       s
   end
 
+let cse_hits t = t.cse_hits
+
 let new_block t = Ir.new_block t.g
 
 let switch_to t b =
   t.cur <- Some b;
-  t.cse <- Hashtbl.create 32
+  t.cse <- Hashtbl.create 32;
+  if Hashtbl.length t.loads > 0 then Hashtbl.reset t.loads
 
 let terminate t term =
   (match t.cur with

@@ -176,6 +176,38 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         | _ -> ())
       | _ -> ())
     blocks;
+  (* Irtrace: report branch compares that could not fuse (the condition is
+     either consumed more than once or defined in another block), then
+     snapshot the post-guard-lowering shape with fused nodes eliminated. *)
+  if !Irtrace.on then begin
+    List.iter
+      (fun b ->
+        match b.term with
+        | Br (c, _, _) when not (Hashtbl.mem fused c) -> (
+          let n = node g c in
+          let record (n : Ir.node) why =
+            match n.prov with
+            | Some p ->
+              Irtrace.record_miss
+                ~phase:(Phases.name (Phases.Guards "closure"))
+                ~mid:p.pv_mid ~pc:p.pv_pc ~line:p.pv_line
+                (Irtrace.Guard_fusion_declined { cond = Ir.op_tag n.op; why })
+            | None -> ()
+          in
+          match n.op with
+          | Icmp _ | Fcmp _ | IsNull ->
+            record n
+              (if Hashtbl.find_opt defined_in c <> Some b.bid then "cross-block"
+               else "multi-use")
+          | _ -> (
+            match Snapshot.materialized_cond g b.bid c with
+            | Some cmp -> record cmp "materialized-bool"
+            | None -> ()))
+        | _ -> ())
+      blocks;
+    Snapshot.take g (Phases.Guards "closure") ~exclude:(Hashtbl.mem fused)
+      ~meta:[ ("fused", string_of_int (Hashtbl.length fused)) ]
+  end;
   (* one closure per node *)
   let compile_node n : (env -> unit) option =
     if Hashtbl.mem fused n.id then None
@@ -441,6 +473,10 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
             done;
             term r))
     blocks;
+  if !Irtrace.on then
+    Snapshot.take g (Phases.Schedule "closure") ~exclude:(Hashtbl.mem fused)
+      ~meta:
+        [ ("blocks", string_of_int nblocks); ("regs", string_of_int nregs) ];
   let entry_idx = idx_of g.entry in
   let nparams = g.nparams in
   (* Register arrays are pooled: SSA dominance guarantees every slot read on
@@ -470,4 +506,5 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
 (* Span-instrumented entry point: attributes backend compile time in traces
    (a no-op single branch when no observability sink is attached). *)
 let compile ?hooks (g : graph) =
-  Obs.span ~cat:"jit" "backend:closure" (fun () -> compile ?hooks g)
+  Obs.span ~cat:Phases.cat_jit (Phases.span_backend "closure") (fun () ->
+      compile ?hooks g)

@@ -199,6 +199,40 @@ let reachable_blocks g =
 let node_count g =
   List.fold_left (fun acc b -> acc + List.length b.body) 0 (reachable_blocks g)
 
+(* Short label for diagnostics emitted from this module and the builder
+   (using [Pretty] here would be a dependency cycle). *)
+let op_tag = function
+  | Konst _ -> "const"
+  | Param _ -> "param"
+  | Bparam -> "bparam"
+  | Iop _ -> "iop"
+  | Ineg -> "ineg"
+  | Fop _ -> "fop"
+  | Fneg -> "fneg"
+  | I2f -> "i2f"
+  | F2i -> "f2i"
+  | Icmp _ -> "icmp"
+  | Fcmp _ -> "fcmp"
+  | IsNull -> "isnull"
+  | ClassId -> "classid"
+  | Getfield f -> "getfield " ^ f.Vm.Types.fowner ^ "." ^ f.Vm.Types.fname
+  | Putfield f -> "putfield " ^ f.Vm.Types.fowner ^ "." ^ f.Vm.Types.fname
+  | Getglobal i -> "getglobal " ^ string_of_int i
+  | Putglobal i -> "putglobal " ^ string_of_int i
+  | NewObj c -> "new " ^ c.Vm.Types.cname
+  | Newarr -> "newarr"
+  | Newfarr -> "newfarr"
+  | Aload -> "aload"
+  | Astore -> "astore"
+  | Faload -> "faload"
+  | Fastore -> "fastore"
+  | Alen -> "alen"
+  | CallStatic m ->
+    "call " ^ m.Vm.Types.mowner.Vm.Types.cname ^ "." ^ m.Vm.Types.mname
+  | CallVirtual (name, _) -> "callvirt " ^ name
+  | CallClosure _ -> "callclosure"
+  | Ext _ -> "ext"
+
 (* CSE key: a canonical string built from stable ids (class/method/field ids,
    object identities), valid only for pure ops. *)
 let op_key op args =
@@ -277,5 +311,19 @@ let dead_code_elim g =
   done;
   List.iter
     (fun b ->
+      (* a value-producing node that is only alive for its effect is a
+         missed elimination worth reporting to the coach; unit-typed ops
+         (stores, void calls) are genuinely wanted for their effect *)
+      (if !Irtrace.on then
+         List.iter
+           (fun n ->
+             if n.eff && (not (Hashtbl.mem used n.id)) && n.ty <> Tunit then
+               match n.prov with
+               | Some p ->
+                 Irtrace.record_miss ~phase:(Phases.name Phases.Dce)
+                   ~mid:p.pv_mid ~pc:p.pv_pc ~line:p.pv_line
+                   (Irtrace.Dce_kept_effectful { op = op_tag n.op })
+               | None -> ())
+           b.body);
       b.body <- List.filter (fun n -> n.eff || Hashtbl.mem used n.id) b.body)
     blocks

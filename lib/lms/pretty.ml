@@ -107,3 +107,35 @@ let pp_graph ppf g =
   Format.fprintf ppf "@]"
 
 let graph_to_string g = Format.asprintf "%a" pp_graph g
+
+(* Like [pp_block]/[pp_graph] but each node is suffixed with the source line
+   its provenance records (printed where it changes), so `lancet ir` shows
+   pass-by-pass IR aligned with the program text. *)
+let pp_block_src g ppf b =
+  let last = ref (-1) in
+  Format.fprintf ppf "@[<v2>b%d(%s):" b.bid
+    (String.concat ", "
+       (List.map (fun (s, ty) -> Printf.sprintf "x%d:%s" s (ty_name ty)) b.params));
+  List.iter
+    (fun n ->
+      let ann =
+        match n.prov with
+        | Some p when p.pv_line > 0 && p.pv_line <> !last ->
+          last := p.pv_line;
+          Printf.sprintf "   ; line %d" p.pv_line
+        | _ -> ""
+      in
+      Format.fprintf ppf "@,x%d = %s%a%s%s" n.id (op_name n.op) pp_args n.args
+        (if n.eff then " !" else "")
+        ann)
+    (body_in_order b);
+  Format.fprintf ppf "@,%a@]" (pp_term g) b.term
+
+let pp_graph_src ppf g =
+  Format.fprintf ppf "@[<v>graph %s/%d (entry b%d):" g.name g.nparams g.entry;
+  List.iter
+    (fun b -> Format.fprintf ppf "@,%a" (pp_block_src g) b)
+    (reachable_blocks g);
+  Format.fprintf ppf "@]"
+
+let graph_to_string_src g = Format.asprintf "%a" pp_graph_src g

@@ -240,6 +240,36 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
         | _ -> ())
       | _ -> ())
     blocks;
+  (* Irtrace: report branch compares that could not fuse, and snapshot the
+     post-guard-lowering shape with fused nodes eliminated. *)
+  if !Irtrace.on then begin
+    List.iter
+      (fun b ->
+        match b.term with
+        | Br (c, _, _) when not (Hashtbl.mem fused c) -> (
+          let n = node g c in
+          let record (n : Ir.node) why =
+            match n.prov with
+            | Some p ->
+              Irtrace.record_miss ~phase:(Phases.name (Phases.Guards "typed"))
+                ~mid:p.pv_mid ~pc:p.pv_pc ~line:p.pv_line
+                (Irtrace.Guard_fusion_declined { cond = Ir.op_tag n.op; why })
+            | None -> ()
+          in
+          match n.op with
+          | Icmp _ | Fcmp _ | IsNull ->
+            record n
+              (if Hashtbl.find_opt defined_in c <> Some b.bid then "cross-block"
+               else "multi-use")
+          | _ -> (
+            match Snapshot.materialized_cond g b.bid c with
+            | Some cmp -> record cmp "materialized-bool"
+            | None -> ()))
+        | _ -> ())
+      blocks;
+    Snapshot.take g (Phases.Guards "typed") ~exclude:(Hashtbl.mem fused)
+      ~meta:[ ("fused", string_of_int (Hashtbl.length fused)) ]
+  end;
   let compile_node n : (regs -> unit) option =
     if Hashtbl.mem fused n.id then None
     else
@@ -596,6 +626,9 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
             done;
             term r))
     blocks;
+  if !Irtrace.on then
+    Snapshot.take g (Phases.Schedule "typed") ~exclude:(Hashtbl.mem fused)
+      ~meta:[ ("blocks", string_of_int (List.length blocks)) ];
   let entry_idx = idx_of g.entry in
   let nparams = g.nparams in
   (* param symbols get val slots; find them to seed from arguments *)
@@ -640,7 +673,8 @@ let compile ?hooks (g : graph) : Vm.Types.value array -> Vm.Types.value =
 (* Span-instrumented entry point: attributes backend compile time in traces
    (a no-op single branch when no observability sink is attached). *)
 let compile ?hooks (g : graph) =
-  Obs.span ~cat:"jit" "backend:typed" (fun () -> compile ?hooks g)
+  Obs.span ~cat:Phases.cat_jit (Phases.span_backend "typed") (fun () ->
+      compile ?hooks g)
 
 (* Compile with typed lanes; transparently fall back to the boxed backend if
    the graph uses features the typed backend does not support. *)

@@ -14,13 +14,13 @@ let () =
     | _ -> None)
 
 let load ?file rt (src : string) : program =
-  let parsed = Obs.span ~cat:"front" "front:parse" (fun () ->
-      Parser.parse_program src)
+  let parsed = Obs.span ~cat:Phases.cat_front (Phases.span_front "parse")
+      (fun () -> Parser.parse_program src)
   in
-  let typed = Obs.span ~cat:"front" "front:typecheck" (fun () ->
-      Typecheck.check_program parsed)
+  let typed = Obs.span ~cat:Phases.cat_front (Phases.span_front "typecheck")
+      (fun () -> Typecheck.check_program parsed)
   in
-  Obs.span ~cat:"front" "front:codegen" (fun () ->
+  Obs.span ~cat:Phases.cat_front (Phases.span_front "codegen") (fun () ->
       Codegen.compile_typed ?file rt typed)
 
 (* Parse + typecheck only (for tests and tooling). *)

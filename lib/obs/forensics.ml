@@ -68,6 +68,9 @@ type action =
       (* speculation on [name] invalidated by a hierarchy change *)
   | Ic_state of { pc : int; line : int; callee : string; state : string }
       (* inline-cache site moved to [state] ("mono"/"poly"/"mega"/...) *)
+  | Ir_fingerprint of { phase : string; fp : string }
+      (* structural fingerprint of the optimized graph ([Lms.Snapshot]);
+         renderers compare per-method to flag byte-identical recompiles *)
 
 type decision = {
   d_ts : float; (* monotonic seconds, same clock as the bus *)
@@ -202,6 +205,7 @@ let action_name = function
   | Devirt_install _ -> "devirt"
   | Devirt_kill _ -> "devirt-kill"
   | Ic_state _ -> "ic"
+  | Ir_fingerprint _ -> "fingerprint"
 
 let at_line pc line =
   if line > 0 then Printf.sprintf "@pc %d (line %d)" pc line
@@ -228,6 +232,11 @@ let action_to_string = function
   | Ic_state e ->
     Printf.sprintf "inline cache %s -> %s on '%s'" (at_line e.pc e.line)
       e.state e.callee
+  | Ir_fingerprint e ->
+    let short =
+      if String.length e.fp > 12 then String.sub e.fp 0 12 else e.fp
+    in
+    Printf.sprintf "IR fingerprint %s (%s)" short e.phase
 
 let cause_to_string = function
   | Hotness c -> Printf.sprintf "hot: calls=%d backedges=%d" c.calls c.backedges

@@ -10,6 +10,7 @@ let () =
       ("ic", Test_ic.suite);
       ("obs", Test_obs.suite);
       ("forensics", Test_forensics.suite);
+      ("irtrace", Test_irtrace.suite);
       ("provenance", Test_provenance.suite);
       ("csv", Test_csv.suite);
       ("optiml", Test_optiml.suite);
