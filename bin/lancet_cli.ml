@@ -84,6 +84,12 @@ let export_metrics rt (j : Metrics.jit) path =
   if hits + misses > 0 then
     Metrics.set j.Metrics.j_ic_hit_ratio
       (float_of_int hits /. float_of_int (hits + misses));
+  Metrics.set j.Metrics.j_profile_replayed
+    (float_of_int (Persist.replayed_methods ()));
+  Metrics.set j.Metrics.j_profile_warm_ok
+    (float_of_int (Persist.warm_matches ()));
+  Metrics.set j.Metrics.j_profile_warm_stale
+    (float_of_int (Persist.warm_stale ()));
   let data =
     if Filename.check_suffix path ".prom" then
       Metrics.to_prometheus j.Metrics.j_reg
@@ -97,11 +103,19 @@ let export_metrics rt (j : Metrics.jit) path =
 (* ---- run ---- *)
 
 let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
-    stats metrics health file fn args =
+    stats metrics health lprof_out lprof_in file fn args =
   let rt, pool =
     Lancet.Api.boot_bg ~tiering:tiered ~tier_threshold:threshold ~jit_threads
       ~jit_queue ()
   in
+  (* profile writer: start collecting compile fingerprints now and rewrite
+     the snapshot on every [Obs.flush] and once more at exit, through the
+     consolidated flusher registry *)
+  (match lprof_out with
+  | Some path ->
+    Persist.collect ();
+    Persist.register_writer rt path
+  | None -> ());
   let jm =
     if metrics <> None || health then begin
       let j = Metrics.jit () in
@@ -131,6 +145,20 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
     else None
   in
   let p = Mini.Front.load ~file rt (read_file file) in
+  (* profile replay: seed hotness/IC/blacklist state from a prior run and
+     batch-enqueue formerly-hot methods before the mutator starts.  A file
+     that fails to load already printed its cold-start diagnostic. *)
+  (match lprof_in with
+  | None -> ()
+  | Some path -> (
+    match Persist.replay_file ?pool rt path with
+    | None -> ()
+    | Some st ->
+      Format.eprintf
+        "[profile] warm start from %s: %d method(s) seeded, %d IC site(s) \
+         pre-quickened, %d compile(s) enqueued, %d stale record(s) dropped@."
+        path st.Persist.rs_methods st.Persist.rs_sites st.Persist.rs_enqueued
+        st.Persist.rs_dropped));
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
   (* let in-flight background compiles finish before reporting *)
   (match pool with Some b -> Bgjit.drain b | None -> ());
@@ -143,6 +171,11 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
   | None -> ());
   (match profile with
   | Some p -> Format.eprintf "@[<v>per-method profile:@,%s@]@." (Obs.Profile.table p)
+  | None -> ());
+  if stats && Hashtbl.length rt.Vm.Types.ic_sites > 0 then
+    Format.eprintf "@[<v>ic sites:@,%s@]@." (Vm.Inlinecache.site_table rt);
+  (match lprof_out with
+  | Some path -> Format.eprintf "[profile] -> %s@." path
   | None -> ());
   (match (jm, metrics) with
   | Some j, Some path -> export_metrics rt j path
@@ -465,13 +498,38 @@ let health_flag =
           "Enable the decision journal and print the whole-run pathology \
            report (deopt loops, compile churn, cache thrash, ...) on exit")
 
+let lprof_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a warmup profile snapshot (.lprof) to $(docv) on exit: \
+           per-method hotness and tier state, inline-cache site states \
+           (receivers recorded symbolically, so they survive restarts), \
+           devirtualization decisions, the blacklist, and the expected IR \
+           fingerprint per compiled method")
+
+let lprof_in_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-in" ] ~docv:"FILE"
+        ~doc:
+          "Replay a warmup profile snapshot before the program starts: \
+           resolve recorded symbols against the loaded program, pre-quicken \
+           inline-cache sites, seed hotness counters and batch-enqueue \
+           formerly-hot methods for compilation.  A corrupt, truncated or \
+           version-mismatched file degrades to a cold start with a \
+           diagnostic.")
+
 let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Mini function on the bytecode interpreter")
     Term.(
       const run_cmd $ tiered_flag $ tier_threshold $ jit_threads $ jit_queue
       $ trace_opt $ print_compilation_flag $ stats_flag $ metrics_opt
-      $ health_flag $ file $ fn_pos $ rest)
+      $ health_flag $ lprof_out_opt $ lprof_in_opt $ file $ fn_pos $ rest)
 
 let trace_out =
   Arg.(

@@ -267,6 +267,10 @@ let boot ?tiering ?tier_threshold ?tier_cache_size ?jit_threads ?jit_queue
       ?jit_queue ?inline_caches ()
   in
   install rt;
+  (* single consolidated exit-time flush for every registered writer
+     (Chrome trace, profile snapshot, pending Exec_samples); idempotent,
+     so [boot_bg] calling [boot] cannot double-register *)
+  Obs.arm_exit_flush ();
   rt
 
 (* Boot with background compilation: when [jit_threads > 0], spawns a

@@ -329,6 +329,10 @@ let why_report ?meth rt =
   let groups =
     List.filter (fun (_, label, _) -> keep label) (Forensics.timeline ())
   in
+  (* deterministic output: order groups by mid rather than first-decision
+     time, so report goldens are byte-diff-stable across runs (background
+     workers journal in a racy order) *)
+  let groups = List.sort (fun (a, _, _) (b, _, _) -> compare a b) groups in
   if groups = [] then
     Buffer.add_string b
       (match meth with

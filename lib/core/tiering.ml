@@ -110,15 +110,18 @@ let compile_method_dyn rt (m : meth) :
     in
     match
       let g = C.stage ~opts ~deps rt m spec in
-      (* journal the optimized graph's structural fingerprint: `lancet why`
-         renders it and flags recompiles that produced identical code *)
-      if !Forensics.on then
-        Forensics.record ~mid:m.mid ~meth:label
-          (Forensics.Ir_fingerprint
-             {
-               phase = Phases.name Phases.Dce;
-               fp = Lms.Snapshot.fingerprint g;
-             });
+      (* the optimized graph's structural fingerprint feeds two consumers:
+         the decision journal (`lancet why` renders it and flags recompiles
+         that produced identical code) and the profile subsystem, which
+         records it for --profile-out and validates warm compiles against
+         the recorded one for --profile-in *)
+      if !Forensics.on || Persist.active () then begin
+        let fp = Lms.Snapshot.fingerprint g in
+        if !Forensics.on then
+          Forensics.record ~mid:m.mid ~meth:label
+            (Forensics.Ir_fingerprint { phase = Phases.name Phases.Dce; fp });
+        Persist.on_fingerprint ~mid:m.mid ~meth:label ~fp
+      end;
       let base = Lms.Closure_backend.default_hooks rt in
       let hooks =
         {

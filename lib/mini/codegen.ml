@@ -687,13 +687,23 @@ let topo_classes (classes : tclass list) : tclass list =
   List.iter visit classes;
   List.rev !out
 
-let main_counter = ref 0
-
+(* The synthetic program class is numbered per *runtime*, not per process:
+   the first program loaded into any fresh runtime is always "Main$1", so
+   the name is a stable symbol — profile snapshots recorded in one process
+   resolve in the next (and in a second runtime booted by the same
+   process), which a global counter would break. *)
 let compile_typed ?(file = "<mini>") rt (tp : tprogram) : compiled_program =
-  incr main_counter;
+  let next =
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun name _ ->
+        if String.length name > 5 && String.sub name 0 5 = "Main$" then incr n)
+      rt.Vm.Types.classes;
+    !n + 1
+  in
   let main_cls =
     Vm.Classfile.declare_class rt
-      ~name:(Printf.sprintf "Main$%d" !main_counter)
+      ~name:(Printf.sprintf "Main$%d" next)
       ~fields:[] ()
   in
   let ctx =

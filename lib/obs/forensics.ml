@@ -44,6 +44,11 @@ type cause =
   | Ic_miss of { seen : string } (* receiver class not in the inline cache *)
   | Recompile_exit of { tag : string }
       (* a [stable] side exit requested recompilation *)
+  | Profile_replay of { src : string }
+      (* the decision was seeded from a persisted profile snapshot *)
+  | Profile_stale of { expected : string; found : string }
+      (* a warm compile disagreed with the snapshot: recorded vs rebuilt
+         IR fingerprint, or a recorded symbol that no longer resolves *)
   | Unattributed
 
 (* What the engine did.  Every variant carries only what the emit site
@@ -256,6 +261,11 @@ let cause_to_string = function
     Printf.sprintf "devirt guard on '%s' missed x%d" c.target c.fails
   | Ic_miss c -> Printf.sprintf "receiver %s not cached" c.seen
   | Recompile_exit c -> Printf.sprintf "recompile exit '%s'" c.tag
+  | Profile_replay c -> Printf.sprintf "replayed from profile %s" c.src
+  | Profile_stale c ->
+    let short s = if String.length s > 12 then String.sub s 0 12 else s in
+    Printf.sprintf "profile stale: recorded %s, got %s" (short c.expected)
+      (short c.found)
   | Unattributed -> ""
 
 (* "+  12.431ms [w1] code installed (gen=0)  <- hot: calls=40 backedges=0" *)

@@ -287,6 +287,10 @@ type jit = {
   j_queue_depth : gauge;
   j_cache_occupancy : gauge;
   j_ic_hit_ratio : gauge;
+  j_time_to_peak_ms : gauge;
+  j_profile_replayed : gauge;
+  j_profile_warm_ok : gauge;
+  j_profile_warm_stale : gauge;
   j_compile_ms : histogram;
   j_mutator_pause_ms : histogram;
   j_queue_wait_ms : histogram;
@@ -314,6 +318,21 @@ let jit ?reg () =
     j_cache_occupancy =
       gauge reg ~help:"resident compiled methods" "code_cache_occupancy";
     j_ic_hit_ratio = gauge reg ~help:"inline-cache hit ratio" "ic_hit_ratio";
+    j_time_to_peak_ms =
+      gauge reg
+        ~help:"first JIT event to latest code-cache install (ms)"
+        "time_to_peak_ms";
+    j_profile_replayed =
+      gauge reg ~help:"method records replayed from a profile snapshot"
+        "profile_replayed_methods";
+    j_profile_warm_ok =
+      gauge reg
+        ~help:"warm compiles whose IR fingerprint matched the snapshot"
+        "profile_warm_matches";
+    j_profile_warm_stale =
+      gauge reg
+        ~help:"warm compiles whose IR fingerprint differed from the snapshot"
+        "profile_warm_stale";
     j_compile_ms =
       histogram reg ~help:"compile latency (ms)" "compile_ms";
     j_mutator_pause_ms =
@@ -327,10 +346,15 @@ let jit ?reg () =
 (* Bus sink translating JIT events into the bundle.  Runs under the bus
    lock like every sink, so the pending table needs no extra guard. *)
 let jit_sink j =
+  (* time-to-peak: wall time from the first JIT event this sink sees to
+     the most recent code-cache install — once installs stop arriving the
+     gauge freezes at the warmup cost *)
+  let t_first = ref nan in
   {
     Obs.sink_name = "metrics";
     sink_emit =
       (fun ~ts ev ->
+        if Float.is_nan !t_first then t_first := ts;
         match ev with
         | Obs.Tier_promote _ -> inc j.j_promotions
         | Obs.Compile_end c ->
@@ -354,7 +378,8 @@ let jit_sink j =
         | Obs.Deopt _ -> inc j.j_deopts
         | Obs.Cache_install e ->
           inc j.j_installs;
-          set j.j_cache_occupancy (float_of_int e.occ)
+          set j.j_cache_occupancy (float_of_int e.occ);
+          set j.j_time_to_peak_ms ((ts -. !t_first) *. 1000.)
         | Obs.Cache_evict e ->
           inc j.j_evictions;
           set j.j_cache_occupancy (float_of_int e.occ)

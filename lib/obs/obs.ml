@@ -270,6 +270,24 @@ let run_flushers () =
   let fs = locked (fun () -> !flushers) in
   List.iter (fun f -> f ()) fs
 
+(* One [at_exit] for every exit-time writer: the Chrome-trace writer, the
+   profile-snapshot writer and pending Exec_sample remainders all register
+   plain flushers and this single hook runs the registry once at process
+   exit.  Idempotent, so layered boots ([boot_bg] calls [boot]) and multiple
+   writers never stack duplicate [at_exit] registrations. *)
+let exit_flush_armed = ref false
+
+let arm_exit_flush () =
+  let arm =
+    locked (fun () ->
+        if !exit_flush_armed then false
+        else begin
+          exit_flush_armed := true;
+          true
+        end)
+  in
+  if arm then at_exit run_flushers
+
 let flush () =
   run_flushers ();
   locked (fun () -> List.iter (fun s -> s.sink_flush ()) !sinks)
@@ -520,23 +538,19 @@ module Chrome = struct
     close_out oc
 
   (* Arrange for the trace to be written even if the traced program traps
-     mid-run and unwinds past the caller: an [at_exit] hook writes whatever
-     was buffered (the dump is well-formed JSON at any point).  Returns the
-     normal-completion writer, which also disarms the hook so a successful
-     run does not write twice.  Pre-flush hooks (pending Exec_sample
-     remainders etc.) run before the dump so short runs don't under-report
-     in the written trace. *)
+     mid-run and unwinds past the caller: the writer registers as a plain
+     flusher in the consolidated registry and the single [arm_exit_flush]
+     hook runs it at process exit.  Each write replaces the file and the
+     dump is well-formed JSON at any point, so intermediate [Obs.flush]
+     calls are harmless — the final flush wins.  Flushers run
+     newest-first, so Exec_sample remainders (registered later, per
+     compile) land in the trace before this writer dumps it.  Returns the
+     normal-completion writer for an immediate write. *)
   let write_at_exit t path =
-    let written = ref false in
-    let write_once () =
-      if not !written then begin
-        written := true;
-        run_flushers ();
-        write t path
-      end
-    in
-    at_exit write_once;
-    write_once
+    let w () = write t path in
+    add_flusher w;
+    arm_exit_flush ();
+    w
 
   let sink t =
     {

@@ -136,6 +136,20 @@ let own_method_opt cls name =
 
 let static_method rt ~cls ~name = own_method (find_class rt cls) name
 
+(* Symbolic method resolution, used by the profile replayer: a method
+   recorded in a snapshot by (class name, method name) resolves against
+   the freshly loaded classfile only when its shape still matches — same
+   staticness and arity.  Renamed, vanished or re-signatured methods
+   return [None] so the caller can drop the stale record instead of
+   seeding state onto the wrong code. *)
+let resolve_symbol rt ~cls ~name ~static ~nargs =
+  match find_class_opt rt cls with
+  | None -> None
+  | Some c -> (
+    match own_method_opt c name with
+    | Some m when m.mstatic = static && m.mnargs = nargs -> Some m
+    | Some _ | None -> None)
+
 let is_subclass sub super =
   let rec go c =
     c.cid = super.cid || match c.csuper with Some s -> go s | None -> false

@@ -32,6 +32,31 @@ let state_string site =
 
 let site_of rt ~mid ~pc = Hashtbl.find_opt rt.ic_sites (mid, pc)
 
+(* Per-site table for `lancet run --stats` and test goldens: one row per
+   quickened site, sorted by (mid, pc) so the output is byte-diff-stable
+   across runs regardless of hashtable iteration order. *)
+let site_table rt =
+  let sites = Hashtbl.fold (fun _ s acc -> s :: acc) rt.ic_sites [] in
+  let sites =
+    List.sort (fun a b -> compare (a.cs_mid, a.cs_pc) (b.cs_mid, b.cs_pc)) sites
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-5s %-5s %-24s %-14s %-28s %8s %8s\n" "mid" "pc"
+       "method" "callee" "state" "hits" "misses");
+  List.iter
+    (fun s ->
+      let label =
+        match Runtime.find_method_by_id rt s.cs_mid with
+        | Some m -> Runtime.meth_label m
+        | None -> Printf.sprintf "mid:%d" s.cs_mid
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-5d %-5d %-24s %-14s %-28s %8d %8d\n" s.cs_mid
+           s.cs_pc label s.cs_name (state_string s) s.cs_hits s.cs_misses))
+    sites;
+  Buffer.contents b
+
 let make_site rt ~mid ~pc ~name ~argc ~hint =
   let site =
     {

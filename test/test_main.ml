@@ -16,4 +16,5 @@ let () =
       ("optiml", Test_optiml.suite);
       ("safeint", Test_safeint.suite);
       ("extras", Test_extras.suite);
+      ("persist", Test_persist.suite);
     ]
