@@ -6,7 +6,7 @@
 
    Usage: bench/main.exe [table1|table2-kmeans|table2-logreg|
                           table2-namescore|ablate|micro|tiered|obs|profile|
-                          bgjit|dispatch|warmup|check|all]
+                          bgjit|dispatch|warmup|chaos|chaos-soak|check|all]
 
    [tiered] compares the pure interpreter against the tiered execution
    engine (hotness-driven method JIT) and writes BENCH_tiered.json (with
@@ -1531,6 +1531,261 @@ let warmup ~small () =
     warm_ok;
   Persist.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Chaos engineering: disabled-checkpoint overhead + seeded fault soak  *)
+
+(* Cost of one disabled chaos checkpoint (`if !Chaos.on && Chaos.fire
+   ...`).  The sites sit on the compile queue, the install path and the
+   interpreter's invoke path, so the disabled form must stay a single
+   load+branch — same brutal < 1ns budget as the other always-compiled
+   checkpoints, minima of repeated runs so scheduler noise cannot trip
+   the gate. *)
+let chaos_overhead ~iters =
+  Chaos.disable ();
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline () =
+    for i = 1 to iters do
+      body i
+    done
+  in
+  let guarded () =
+    for i = 1 to iters do
+      body i;
+      if !Chaos.on && Chaos.fire Chaos.compile_crash then acc := !acc lxor 1
+    done
+  in
+  let min_of f =
+    ignore (time f);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let b = min_of baseline in
+  let g = min_of guarded in
+  ignore !acc;
+  Float.max 0. ((g -. b) /. float_of_int iters *. 1e9)
+
+let chaos_guard ~iters =
+  let ns = chaos_overhead ~iters in
+  if ns > 1.0 then
+    failwith
+      (Printf.sprintf
+         "chaos: disabled injection checkpoint costs %.2fns (> 1ns budget)" ns)
+
+(* Cost of the governor's promotion checkpoint when no governor is
+   attached: the promotion path pays one mutable-field load plus an
+   option match.  Same budget. *)
+let governor_overhead ~iters =
+  let rt = Vm.Natives.boot ~tiering:true () in
+  let t = rt.tiering in
+  t.t_promote_gate <- None;
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let body i = acc := (!acc + (i * 31)) land 0xFFFFFF in
+  let baseline () =
+    for i = 1 to iters do
+      body i
+    done
+  in
+  let guarded () =
+    for i = 1 to iters do
+      body i;
+      match t.t_promote_gate with None -> () | Some _ -> acc := !acc lxor 1
+    done
+  in
+  let min_of f =
+    ignore (time f);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let b = min_of baseline in
+  let g = min_of guarded in
+  ignore !acc;
+  Float.max 0. ((g -. b) /. float_of_int iters *. 1e9)
+
+let governor_guard ~iters =
+  let ns = governor_overhead ~iters in
+  if ns > 1.0 then
+    failwith
+      (Printf.sprintf
+         "governor: detached promotion checkpoint costs %.2fns (> 1ns budget)"
+         ns)
+
+(* The soak workload mixes several methods so faults land on different
+   mids: a hot loop, a speculation that deopts periodically, and a cheap
+   mixer, all folded into one checksum. *)
+let chaos_soak_src =
+  {|
+def soak_calc(n: int, seed: int): int = {
+  var acc = seed;
+  var i = 0;
+  while (i < n) {
+    acc = (acc * 31 + i) % 1000003;
+    i = i + 1
+  };
+  acc
+}
+def soak_spec(x: int): int =
+  if (Lancet.speculate(x < 100000)) x * 3 + 1 else x - 7
+def soak_mix(a: int, b: int): int = (a * 17 + b * 29) % 1000003
+|}
+
+let chaos_soak_drive p ~calls =
+  let acc = ref 0 in
+  let put v = acc := (!acc + Vm.Value.to_int v) land 0xFFFFFF in
+  for i = 1 to calls do
+    put (Mini.Front.call p "soak_calc" [| Int 60; Int i |]);
+    (* every 40th call breaks the speculation: deopt pressure for the
+       governor's circuit breaker *)
+    let x = if i mod 40 = 0 then 1_000_000 + i else i in
+    put (Mini.Front.call p "soak_spec" [| Int x |]);
+    put (Mini.Front.call p "soak_mix" [| Int i; Int !acc |])
+  done;
+  !acc
+
+let chaos_soak_interp ~calls =
+  let rt = Vm.Natives.boot () in
+  let p = Mini.Front.load rt chaos_soak_src in
+  chaos_soak_drive p ~calls
+
+(* Every fault site armed at once; only the seed varies between legs. *)
+let chaos_soak_spec seed =
+  Printf.sprintf
+    "compile_crash:p=0.2,compile_stall:p=0.3:ms=20,compile_garbage:p=0.2,queue_full:p=0.2,cache_evict:p=0.3,hier_churn:p=0.002,seed=%d"
+    seed
+
+(* One seeded soak leg: tiered runtime, two JIT worker domains, small
+   code cache, governor attached with a tight watchdog, every fault site
+   armed.  Returns the checksum plus the evidence strings. *)
+let chaos_soak_leg ~seed ~calls =
+  (match Chaos.configure (chaos_soak_spec seed) with
+  | Ok () -> ()
+  | Error e -> failwith ("chaos soak: bad spec: " ^ e));
+  Forensics.enable ();
+  let rt, pool =
+    Lancet.Api.boot_bg ~tiering:true ~tier_threshold:8 ~tier_cache_size:4
+      ~jit_threads:2 ()
+  in
+  let gov =
+    Lancet.Governor.attach
+      ~cfg:
+        {
+          Lancet.Governor.default_config with
+          Lancet.Governor.g_watchdog_ms = 100.0;
+        }
+      ?pool ~ticker:true rt
+  in
+  let p = Mini.Front.load rt chaos_soak_src in
+  let t0 = Unix.gettimeofday () in
+  let checksum = chaos_soak_drive p ~calls in
+  (match pool with Some b -> Bgjit.drain ~timeout_ms:2000 b | None -> ());
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Lancet.Governor.detach gov;
+  let bg = match pool with Some b -> Bgjit.stats_string b | None -> "" in
+  (match pool with Some b -> Bgjit.shutdown ~timeout_ms:2000 b | None -> ());
+  let fires = Chaos.stats_string () in
+  let gov_report = Lancet.Governor.report gov in
+  Chaos.disable ();
+  (checksum, ms, fires, gov_report, bg)
+
+(* THE soak invariant (gated here and in CI): under any seeded fault
+   schedule the program computes the pure-interpreter checksum, and the
+   process neither crashes nor wedges — every leg exits through the
+   bounded drain/shutdown path above. *)
+let chaos_soak ?(quiet = false) ~seeds ~calls () =
+  let expect = chaos_soak_interp ~calls in
+  List.map
+    (fun seed ->
+      let sum, ms, fires, gov, bg = chaos_soak_leg ~seed ~calls in
+      if sum <> expect then
+        failwith
+          (Printf.sprintf
+             "chaos soak: seed %d checksum mismatch (interp %d, chaos %d)" seed
+             expect sum);
+      if not quiet then begin
+        pr "seed %-6d ok %8.1f ms  checksum=%d\n" seed ms sum;
+        pr "            fires: %s\n" fires;
+        pr "            governor: %s\n" gov;
+        if bg <> "" then pr "            bgjit: %s\n" bg
+      end;
+      (seed, ms, fires, gov))
+    seeds
+
+let chaos_bench () =
+  header "Chaos engineering: checkpoint overhead + seeded fault soak";
+  let iters = 20_000_000 in
+  let chaos_ns = chaos_overhead ~iters in
+  let gov_ns = governor_overhead ~iters in
+  pr "\n%-36s %10.2f ns/site\n" "chaos disabled (single branch)" chaos_ns;
+  pr "%-36s %10.2f ns/site\n" "governor detached (option load)" gov_ns;
+  pr "\nsoak: checksum vs pure interpreter under seeded faults\n";
+  let rows = chaos_soak ~seeds:[ 11; 23; 42 ] ~calls:400 () in
+  let row (seed, ms, fires, gov) =
+    Printf.sprintf
+      "    {\"seed\": %d, \"ms\": %.3f, \"fires\": %S, \"governor\": %S}" seed
+      ms fires gov
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+       \  \"chaos_checkpoint_ns\": %.4f,\n\
+       \  \"governor_checkpoint_ns\": %.4f,\n\
+       \  \"soak\": [\n\
+        %s\n\
+       \  ]\n\
+        }\n"
+       chaos_ns gov_ns
+       (String.concat ",\n" (List.map row rows)));
+  close_out oc;
+  pr "\nwrote BENCH_chaos.json\n"
+
+(* CI entry point (`bench/main.exe chaos-soak [seeds...]`): soak each
+   seed; on any failure dump the forensics journal to chaos-journal.txt
+   (uploaded as a CI artifact) and exit non-zero. *)
+let chaos_soak_ci () =
+  let seeds =
+    let rest =
+      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    in
+    match List.filter_map int_of_string_opt rest with
+    | [] -> [ 11; 23; 42 ]
+    | l -> l
+  in
+  header "Chaos soak (CI gate)";
+  match chaos_soak ~seeds ~calls:600 () with
+  | rows -> pr "chaos soak ok (%d seeds)\n" (List.length rows)
+  | exception e ->
+    let oc = open_out "chaos-journal.txt" in
+    output_string oc
+      (Printf.sprintf "chaos soak failed: %s\n\nforensics journal:\n"
+         (Printexc.to_string e));
+    List.iter
+      (fun d -> output_string oc (Forensics.decision_to_string d ^ "\n"))
+      (Forensics.decisions ());
+    close_out oc;
+    prerr_endline
+      ("chaos soak FAILED: " ^ Printexc.to_string e
+     ^ " (journal in chaos-journal.txt)");
+    exit 1
+
 (* Fast correctness gate (runs under the dune [runtest] alias): same
    workloads at small sizes, results must match the interpreter and the
    tiered counters must move; no timing assertions, so it cannot flake. *)
@@ -1559,6 +1814,10 @@ let tier_check () =
   profile_guard ~iters:2_000_000;
   forensics_guard ~iters:2_000_000;
   irtrace_guard ~iters:20_000_000;
+  chaos_guard ~iters:2_000_000;
+  governor_guard ~iters:2_000_000;
+  ignore (chaos_soak ~quiet:true ~seeds:[ 42 ] ~calls:120 ());
+  pr "check chaos soak        ok  (seed 42)\n";
   warmup ~small:true ();
   pr "tiered execution check ok\n"
 
@@ -1584,6 +1843,8 @@ let () =
   | "bgjit" -> bgjit_bench ()
   | "dispatch" -> dispatch_bench ()
   | "warmup" -> warmup ~small:false ()
+  | "chaos" -> chaos_bench ()
+  | "chaos-soak" -> chaos_soak_ci ()
   | "check" -> tier_check ()
   | "all" ->
     table1 ();
@@ -1599,6 +1860,7 @@ let () =
     irtrace_bench ();
     bgjit_bench ();
     dispatch_bench ();
+    chaos_bench ();
     warmup ~small:false ()
   | other ->
     prerr_endline ("unknown benchmark: " ^ other);

@@ -103,7 +103,15 @@ let export_metrics rt (j : Metrics.jit) path =
 (* ---- run ---- *)
 
 let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
-    stats metrics health lprof_out lprof_in file fn args =
+    stats metrics health chaos governor watchdog_ms lprof_out lprof_in file fn
+    args =
+  match
+    match chaos with None -> Ok () | Some spec -> Chaos.configure spec
+  with
+  | Error e ->
+    Format.eprintf "%s@." e;
+    2
+  | Ok () ->
   let rt, pool =
     Lancet.Api.boot_bg ~tiering:tiered ~tier_threshold:threshold ~jit_threads
       ~jit_queue ()
@@ -125,6 +133,20 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
     else None
   in
   if health then Forensics.enable ();
+  (* the governor rides on the pool and journal: attach after boot so it
+     sees the final hooks, detach before the pool shuts down *)
+  let gov =
+    if governor then
+      Some
+        (Lancet.Governor.attach
+           ~cfg:
+             { Lancet.Governor.default_config with
+               Lancet.Governor.g_watchdog_ms = watchdog_ms
+             }
+           ?reg:(Option.map (fun j -> j.Metrics.j_reg) jm)
+           ?pool ~ticker:true rt)
+    else None
+  in
   let chrome =
     Option.map
       (fun path ->
@@ -160,8 +182,12 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
         path st.Persist.rs_methods st.Persist.rs_sites st.Persist.rs_enqueued
         st.Persist.rs_dropped));
   let v = Mini.Front.call p fn (Array.of_list (List.map parse_arg args)) in
-  (* let in-flight background compiles finish before reporting *)
-  (match pool with Some b -> Bgjit.drain b | None -> ());
+  (* let in-flight background compiles finish before reporting — bounded
+     when chaos is armed, so an injected stall cannot hang the exit *)
+  (match pool with
+  | Some b ->
+    if !Chaos.on then Bgjit.drain ~timeout_ms:2000 b else Bgjit.drain b
+  | None -> ());
   Obs.flush ();
   Format.printf "%a@." Vm.Value.pp v;
   (match chrome with
@@ -181,11 +207,21 @@ let run_cmd tiered threshold jit_threads jit_queue trace print_compilation
   | Some j, Some path -> export_metrics rt j path
   | _ -> ());
   if health then print_string (Lancet.Explain.health_report rt);
+  (match gov with
+  | Some g ->
+    Lancet.Governor.detach g;
+    if tiered || stats then
+      Format.eprintf "[governor] %s@." (Lancet.Governor.report g)
+  | None -> ());
   (match pool with
   | Some b ->
-    Bgjit.shutdown b;
+    if !Chaos.on then Bgjit.shutdown ~timeout_ms:2000 b else Bgjit.shutdown b;
     if tiered || stats then Format.eprintf "[bgjit] %s@." (Bgjit.stats_string b)
   | None -> ());
+  if !Chaos.on then begin
+    Format.eprintf "[chaos] seed=%d %s@." (Chaos.seed ()) (Chaos.stats_string ());
+    Chaos.disable ()
+  end;
   if tiered || stats then
     Format.eprintf "[tier] %s@." (Vm.Runtime.tier_stats_string rt);
   0
@@ -353,7 +389,8 @@ let why_cmd threshold jit_threads jit_queue repeat meth file fn args =
 
 (* ---- health: whole-run pathology report ---- *)
 
-let health_cmd threshold jit_threads jit_queue repeat metrics file fn args =
+let health_cmd threshold jit_threads jit_queue repeat metrics strict file fn
+    args =
   Forensics.enable ();
   let rt, pool =
     Lancet.Api.boot_bg ~tiering:true ~tier_threshold:threshold ~jit_threads
@@ -373,7 +410,8 @@ let health_cmd threshold jit_threads jit_queue repeat metrics file fn args =
   print_string (Lancet.Explain.health_report rt);
   (match metrics with Some path -> export_metrics rt j path | None -> ());
   (match pool with Some b -> Bgjit.shutdown b | None -> ());
-  0
+  (* --strict: CI and scripts gate on VM health through the exit code *)
+  if strict && Forensics.detect () <> [] then 1 else 0
 
 (* ---- disasm ---- *)
 
@@ -498,6 +536,43 @@ let health_flag =
           "Enable the decision journal and print the whole-run pathology \
            report (deopt loops, compile churn, cache thrash, ...) on exit")
 
+let chaos_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the deterministic fault-injection harness from $(docv): \
+           comma-separated injection sites with parameters, e.g. \
+           \"compile_crash:p=0.1,compile_stall:ms=50,seed=42\".  Sites: \
+           compile_crash, compile_stall, compile_garbage, queue_full, \
+           cache_evict, profile_truncate, profile_corrupt, hier_churn.  \
+           Parameters: p (fire probability, default 1), ms (stall \
+           duration), n (fire every nth draw); seed=N makes the schedule \
+           reproducible.")
+
+let governor_flag =
+  Arg.(
+    value & flag
+    & info [ "governor" ]
+        ~doc:
+          "Enable the self-healing governor: a deopt-loop circuit breaker \
+           (demote to interpreter with exponential backoff, blacklist at \
+           the cap), a compile watchdog bounding per-compile wall time, \
+           queue backpressure and cache-thrash damping.  Decisions are \
+           journaled for $(b,lancet why) and counted in the metrics \
+           registry.")
+
+let watchdog_ms_opt =
+  Arg.(
+    value & opt float 500.0
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "Governor compile watchdog budget: an in-flight compile running \
+           longer than $(docv) milliseconds is abandoned (its install is \
+           discarded by the generation check), retried once, then \
+           blacklisted")
+
 let lprof_out_opt =
   Arg.(
     value
@@ -529,7 +604,8 @@ let run_t =
     Term.(
       const run_cmd $ tiered_flag $ tier_threshold $ jit_threads $ jit_queue
       $ trace_opt $ print_compilation_flag $ stats_flag $ metrics_opt
-      $ health_flag $ lprof_out_opt $ lprof_in_opt $ file $ fn_pos $ rest)
+      $ health_flag $ chaos_opt $ governor_flag $ watchdog_ms_opt
+      $ lprof_out_opt $ lprof_in_opt $ file $ fn_pos $ rest)
 
 let trace_out =
   Arg.(
@@ -677,6 +753,14 @@ let why_t =
       const why_cmd $ tier_threshold $ jit_threads $ jit_queue $ trace_repeat
       $ why_method $ file $ trace_fn $ rest)
 
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero when any pathology is detected, so CI and scripts \
+           can gate on VM health")
+
 let health_t =
   Cmd.v
     (Cmd.info "health"
@@ -687,7 +771,7 @@ let health_t =
           journal evidence and a suggested knob for each")
     Term.(
       const health_cmd $ tier_threshold $ jit_threads $ jit_queue
-      $ trace_repeat $ metrics_opt $ file $ trace_fn $ rest)
+      $ trace_repeat $ metrics_opt $ strict_flag $ file $ trace_fn $ rest)
 
 let disasm_names =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"CLASS-SUBSTRING")

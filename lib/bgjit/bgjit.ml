@@ -42,6 +42,8 @@ type stats = {
   mutable s_installed : int;
   mutable s_stale : int;
   mutable s_blacklisted : int;
+  mutable s_abandoned : int; (* queued requests walked away from at a
+                                timed-out shutdown *)
 }
 
 type t = {
@@ -51,13 +53,16 @@ type t = {
   capacity : int;
   queue : meth Queue.t;
   pending : (int, unit) Hashtbl.t; (* mids queued, not yet picked up *)
-  inflight : (int, unit) Hashtbl.t; (* mids a worker is compiling now *)
+  inflight : (int, float) Hashtbl.t;
+  (* mid -> dequeue timestamp ([Obs.now] clock) for every compile a worker
+     is running now; the governor's watchdog reads the ages *)
   lock : Mutex.t; (* guards queue/pending/inflight/stats/stop *)
   nonempty : Condition.t; (* signaled on enqueue and shutdown *)
   idle : Condition.t; (* signaled when the pool goes quiescent *)
   log : string -> unit;
   stats : stats;
   mutable stop : bool;
+  alive : int Atomic.t; (* workers that have not exited their loop yet *)
   mutable domains : unit Domain.t list;
   mutable saved_hook : (runtime -> meth -> jit_result) option;
 }
@@ -77,12 +82,21 @@ let stats t = t.stats
 let pending t =
   locked t (fun () -> Queue.length t.queue + Hashtbl.length t.inflight)
 
+(* [(mid, age_seconds)] of every compile currently running on a worker;
+   the governor's watchdog decides which are overdue. *)
+let inflight_ages t =
+  let now = Obs.now () in
+  locked t (fun () ->
+      Hashtbl.fold (fun mid ts acc -> (mid, now -. ts) :: acc) t.inflight [])
+
 let stats_string t =
   let s = t.stats in
   Printf.sprintf
-    "enqueued=%d coalesced=%d dropped=%d installed=%d stale=%d blacklisted=%d"
+    "enqueued=%d coalesced=%d dropped=%d installed=%d stale=%d blacklisted=%d%s"
     s.s_enqueued s.s_coalesced s.s_dropped s.s_installed s.s_stale
     s.s_blacklisted
+    (if s.s_abandoned > 0 then Printf.sprintf " abandoned=%d" s.s_abandoned
+     else "")
 
 (* ------------------------------------------------------------------ *)
 (* Enqueue (mutator side)                                              *)
@@ -101,10 +115,15 @@ let enqueue ?(why = Forensics.Unattributed) t (m : meth) =
           m.mtier <- Tier_compiling;
           (`Coalesced, 0)
         end
-        else if t.stop || Queue.length t.queue >= t.capacity then begin
+        else if
+          t.stop
+          || Queue.length t.queue >= t.capacity
+          || (!Chaos.on && Chaos.fire Chaos.queue_full)
+        then begin
           t.stats.s_dropped <- t.stats.s_dropped + 1;
-          (* saturation (or shutdown): back to cold, so the method stays
-             interpretable and a later promotion retries *)
+          (* saturation (or shutdown, or forced saturation): back to cold,
+             so the method stays interpretable and a later promotion
+             retries *)
           if m.mtier = Tier_compiling then m.mtier <- Tier_cold;
           (`Dropped, 0)
         end
@@ -183,16 +202,46 @@ let process t wid (m : meth) =
      and only an invalidation racing the compile itself can make it stale *)
   let gen = Vm.Runtime.tier_gen t.rt m.mid in
   let outcome =
-    match t.compile t.rt m with
-    | Some (fn, deps, epoch) ->
-      (* speculative code additionally requires the hierarchy epoch to be
-         unchanged since the compile started; [tier_install_if_current]
-         checks it under the same lock as the generation stamp *)
-      if Vm.Runtime.tier_install_if_current t.rt m ~gen ~epoch ~deps fn then
-        `Installed
-      else `Stale
-    | None -> `Failed "compiler declined (no entry point)"
-    | exception e -> `Failed (Printexc.to_string e)
+    if m.mtier = Tier_blacklisted then
+      (* retired (governor or a racing failure) while the request sat in
+         the queue: never resurrect a blacklisted method *)
+      `Stale
+    else
+      match
+        (if !Chaos.on then begin
+           if Chaos.fire Chaos.compile_stall then
+             Chaos.sleep_ms (max 1 (Chaos.ms Chaos.compile_stall));
+           if Chaos.fire Chaos.compile_crash then begin
+             if !Forensics.on then
+               Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+                 ~cause:(Forensics.Chaos_fault { site = "compile_crash" })
+                 Forensics.Discard;
+             failwith "chaos: injected compile crash"
+           end
+         end);
+        t.compile t.rt m
+      with
+      | Some (fn, deps, epoch) ->
+        let fn =
+          if !Chaos.on && Chaos.fire Chaos.compile_garbage then begin
+            (* garbage result: bump the stamp first so the conditional
+               install provably discards it — the generation check is the
+               safety net under test *)
+            Vm.Runtime.tier_invalidate
+              ~why:(Forensics.Chaos_fault { site = "compile_garbage" })
+              t.rt m;
+            fun _ -> Vm.Types.Int 0xDEAD
+          end
+          else fn
+        in
+        (* speculative code additionally requires the hierarchy epoch to be
+           unchanged since the compile started; [tier_install_if_current]
+           checks it under the same lock as the generation stamp *)
+        if Vm.Runtime.tier_install_if_current t.rt m ~gen ~epoch ~deps fn then
+          `Installed
+        else `Stale
+      | None -> `Failed "compiler declined (no entry point)"
+      | exception e -> `Failed (Printexc.to_string e)
   in
   (match outcome with `Failed err -> blacklist t wid m err | _ -> ());
   (* terminal bookkeeping is atomic with the in-flight removal, so the
@@ -230,7 +279,7 @@ let rec worker_loop t wid =
           (* [add], not [replace]: the same mid can be in flight on two
              workers at once (requeued while compiling), and each holds
              its own binding — [Hashtbl.length] counts both *)
-          Hashtbl.add t.inflight m.mid ();
+          Hashtbl.add t.inflight m.mid (Obs.now ());
           Some (m, Queue.length t.queue)
         | None -> None)
   in
@@ -282,18 +331,23 @@ let create ?threads ?queue ?log ~compile rt =
           s_installed = 0;
           s_stale = 0;
           s_blacklisted = 0;
+          s_abandoned = 0;
         };
       stop = false;
+      alive = Atomic.make 0;
       domains = [];
       saved_hook = None;
     }
   in
+  Atomic.set t.alive threads;
   t.domains <-
     List.init threads (fun i ->
         let wid = i + 1 in
         Domain.spawn (fun () ->
             Obs.set_worker wid;
-            worker_loop t wid));
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr t.alive)
+              (fun () -> worker_loop t wid)));
   t
 
 let install t =
@@ -306,20 +360,94 @@ let install t =
           (enqueue t m
              ~why:(Forensics.Recompile_exit { tag = "deopt-recompile" })))
 
-let drain t =
+let quiescent t =
   locked t (fun () ->
-      while not (Queue.is_empty t.queue && Hashtbl.length t.inflight = 0) do
-        Condition.wait t.idle t.lock
-      done)
+      Queue.is_empty t.queue && Hashtbl.length t.inflight = 0)
 
-let shutdown t =
-  locked t (fun () ->
-      t.stop <- true;
-      Condition.broadcast t.nonempty);
-  List.iter Domain.join t.domains;
-  t.domains <- [];
+let drain ?timeout_ms t =
+  match timeout_ms with
+  | None ->
+    locked t (fun () ->
+        while not (Queue.is_empty t.queue && Hashtbl.length t.inflight = 0) do
+          Condition.wait t.idle t.lock
+        done)
+  | Some ms ->
+    (* bounded: poll rather than wait — a stalled worker never signals
+       [idle], and OCaml conditions have no timed wait *)
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    let rec go () =
+      if (not (quiescent t)) && Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.001;
+        go ()
+      end
+    in
+    go ()
+
+let restore_hooks t =
   (* restore synchronous compilation for whatever runs after the pool *)
   if t.rt.tiering.t_bg_recompile <> None then begin
     t.rt.tiering.t_bg_recompile <- None;
     t.rt.jit_hook <- t.saved_hook
   end
+
+(* Stop the pool.  Without [timeout_ms] this is the original unconditional
+   drain: workers finish everything queued and are joined.  With
+   [timeout_ms], wait at most that long for the workers to go quiet; on
+   expiry the remaining queue is abandoned — each leftover request is
+   counted in [s_abandoned], journaled, and its method returned to
+   [Tier_cold] — and stalled worker domains are leaked rather than joined,
+   so a wedged compile cannot hang process exit. *)
+let shutdown ?timeout_ms t =
+  locked t (fun () ->
+      t.stop <- true;
+      Condition.broadcast t.nonempty);
+  match timeout_ms with
+  | None ->
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    restore_hooks t
+  | Some ms ->
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    while Atomic.get t.alive > 0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.001
+    done;
+    if Atomic.get t.alive = 0 then begin
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+    else begin
+      (* abandon whatever is still queued: a stalled worker would hold the
+         rest hostage, and the mutator must never wait on it *)
+      let leftovers =
+        locked t (fun () ->
+            let ms = List.of_seq (Queue.to_seq t.queue) in
+            Queue.clear t.queue;
+            List.iter
+              (fun (m : meth) ->
+                Hashtbl.remove t.pending m.mid;
+                t.stats.s_abandoned <- t.stats.s_abandoned + 1;
+                if m.mtier = Tier_compiling then m.mtier <- Tier_cold)
+              ms;
+            ms)
+      in
+      let n = List.length leftovers in
+      if !Forensics.on && n > 0 then begin
+        List.iter
+          (fun (m : meth) ->
+            Forensics.record ~mid:m.mid ~meth:(Vm.Runtime.meth_label m)
+              ~cause:(Forensics.Shutdown_timeout { ms })
+              Forensics.Drop)
+          leftovers;
+        Forensics.record
+          ~cause:(Forensics.Shutdown_timeout { ms })
+          (Forensics.Abandon { pending = n })
+      end;
+      if n > 0 || Atomic.get t.alive > 0 then
+        t.log
+          (Printf.sprintf
+             "[bgjit] shutdown timed out after %dms: %d request(s) \
+              abandoned, %d worker(s) leaked"
+             ms n (Atomic.get t.alive));
+      t.domains <- []
+    end;
+    restore_hooks t

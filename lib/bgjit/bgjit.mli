@@ -26,6 +26,8 @@ type stats = {
   mutable s_installed : int;  (** compiled and published into the cache *)
   mutable s_stale : int;  (** compiled, but the generation moved: discarded *)
   mutable s_blacklisted : int;  (** compile failed: method blacklisted *)
+  mutable s_abandoned : int;
+      (** queued requests walked away from by a timed-out [shutdown] *)
 }
 
 val create :
@@ -57,18 +59,28 @@ val enqueue :
     method returns to cold and retries on a later promotion).  [why] is
     the cause recorded in the decision journal when it is enabled. *)
 
-val drain : t -> unit
+val drain : ?timeout_ms:int -> t -> unit
 (** Block until the queue is empty and no compile is in flight.  Test and
-    benchmark hook; production callers never wait on the compiler. *)
+    benchmark hook; production callers never wait on the compiler.  With
+    [timeout_ms], give up after that long (a stalled worker cannot hang
+    the caller); the pool may still have work pending on return. *)
 
-val shutdown : t -> unit
-(** Drain remaining requests, stop and join the workers, and restore the
-    runtime's synchronous hook.  Idempotent. *)
+val shutdown : ?timeout_ms:int -> t -> unit
+(** Stop the pool and restore the runtime's synchronous hook.  Without
+    [timeout_ms]: drain remaining requests and join the workers
+    (idempotent).  With [timeout_ms]: wait at most that long; on expiry
+    the remaining queue is abandoned (counted in [s_abandoned], journaled,
+    methods returned to cold) and stalled workers are leaked rather than
+    joined, so a wedged compile cannot hang process exit. *)
 
 val stats : t -> stats
 
 val pending : t -> int
 (** Requests currently queued or being compiled (0 after [drain]). *)
+
+val inflight_ages : t -> (int * float) list
+(** [(mid, age_seconds)] for every compile currently running on a worker;
+    the governor's watchdog uses the ages to find stalled compiles. *)
 
 val stats_string : t -> string
 (** One-line summary of the pool counters, for benches and logging. *)

@@ -172,7 +172,17 @@ let compile_method_dyn rt (m : meth) :
                        pc = se_pc;
                        line = se_line;
                      });
+              (* the governor's circuit breaker sees every deopt; when it
+                 acts (demote to interpreter, blacklist) the normal
+                 remediation below is skipped — re-enqueueing a recompile
+                 would defeat the backoff *)
+              let governed =
+                match t.t_on_deopt with
+                | Some f -> f m se.Lms.Ir.se_tag se_pc se_line
+                | None -> false
+              in
               (match se.Lms.Ir.se_kind with
+              | _ when governed -> ()
               | `Recompile -> (
                 Vm.Runtime.tier_invalidate
                   ~why:(Forensics.Recompile_exit { tag = se.Lms.Ir.se_tag })

@@ -49,6 +49,18 @@ type cause =
   | Profile_stale of { expected : string; found : string }
       (* a warm compile disagreed with the snapshot: recorded vs rebuilt
          IR fingerprint, or a recorded symbol that no longer resolves *)
+  | Deopt_storm of { tag : string; pc : int; strikes : int }
+      (* the governor's circuit breaker counted [strikes] deopts of the
+         same guard *)
+  | Watchdog_timeout of { ms : float; budget_ms : float }
+      (* an in-flight compile exceeded the governor's wall-time budget *)
+  | Queue_pressure of { dropped : int }
+      (* sustained queue drops observed over a governor tick *)
+  | Eviction_spike of { evictions : int }
+      (* code-cache eviction rate spiked over a governor tick *)
+  | Shutdown_timeout of { ms : int }
+      (* bounded shutdown expired before the queue drained *)
+  | Chaos_fault of { site : string } (* injected by the chaos harness *)
   | Unattributed
 
 (* What the engine did.  Every variant carries only what the emit site
@@ -76,6 +88,17 @@ type action =
   | Ir_fingerprint of { phase : string; fp : string }
       (* structural fingerprint of the optimized graph ([Lms.Snapshot]);
          renderers compare per-method to flag byte-identical recompiles *)
+  | Demote of { strikes : int; backoff : int }
+      (* governor sent the method back to the interpreter; it re-promotes
+         only once hotness reaches [backoff] *)
+  | Repromote of { level : int }
+      (* a demoted method served its backoff and re-entered the pipeline *)
+  | Watchdog_kill of { ms : float; retry : bool }
+      (* governor abandoned a stalled compile via a generation bump *)
+  | Throttle of { knob : string; was : int; now : int }
+      (* governor moved a tiering knob (backpressure / hysteresis) *)
+  | Abandon of { pending : int }
+      (* bounded shutdown walked away from queued compile requests *)
 
 type decision = {
   d_ts : float; (* monotonic seconds, same clock as the bus *)
@@ -211,6 +234,11 @@ let action_name = function
   | Devirt_kill _ -> "devirt-kill"
   | Ic_state _ -> "ic"
   | Ir_fingerprint _ -> "fingerprint"
+  | Demote _ -> "demote"
+  | Repromote _ -> "repromote"
+  | Watchdog_kill _ -> "watchdog-kill"
+  | Throttle _ -> "throttle"
+  | Abandon _ -> "abandon"
 
 let at_line pc line =
   if line > 0 then Printf.sprintf "@pc %d (line %d)" pc line
@@ -242,6 +270,16 @@ let action_to_string = function
       if String.length e.fp > 12 then String.sub e.fp 0 12 else e.fp
     in
     Printf.sprintf "IR fingerprint %s (%s)" short e.phase
+  | Demote e ->
+    Printf.sprintf "demoted to interpreter (strikes=%d, re-promote at %d)"
+      e.strikes e.backoff
+  | Repromote e -> Printf.sprintf "re-promoted after backoff (level %d)" e.level
+  | Watchdog_kill e ->
+    Printf.sprintf "stalled compile abandoned after %.0fms%s" e.ms
+      (if e.retry then " -> retry once" else " -> no more retries")
+  | Throttle e -> Printf.sprintf "%s throttled %d -> %d" e.knob e.was e.now
+  | Abandon e ->
+    Printf.sprintf "%d queued compile(s) abandoned at shutdown" e.pending
 
 let cause_to_string = function
   | Hotness c -> Printf.sprintf "hot: calls=%d backedges=%d" c.calls c.backedges
@@ -266,6 +304,15 @@ let cause_to_string = function
     let short s = if String.length s > 12 then String.sub s 0 12 else s in
     Printf.sprintf "profile stale: recorded %s, got %s" (short c.expected)
       (short c.found)
+  | Deopt_storm c ->
+    Printf.sprintf "deopt storm: guard '%s' @pc %d missed x%d" c.tag c.pc
+      c.strikes
+  | Watchdog_timeout c ->
+    Printf.sprintf "compile ran %.0fms against a %.0fms budget" c.ms c.budget_ms
+  | Queue_pressure c -> Printf.sprintf "%d compile drops this tick" c.dropped
+  | Eviction_spike c -> Printf.sprintf "%d evictions this tick" c.evictions
+  | Shutdown_timeout c -> Printf.sprintf "shutdown timed out after %dms" c.ms
+  | Chaos_fault c -> Printf.sprintf "chaos fault '%s'" c.site
   | Unattributed -> ""
 
 (* "+  12.431ms [w1] code installed (gen=0)  <- hot: calls=40 backedges=0" *)

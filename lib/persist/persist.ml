@@ -476,11 +476,34 @@ let of_string ?(src = "<string>") s : (profile, string) result =
 (* ------------------------------------------------------------------ *)
 (* File I/O                                                            *)
 
+(* Atomic: write to a sibling temp file and [Sys.rename] into place, so a
+   crash mid-write (or an injected [profile_truncate] fault) can never leave
+   a truncated profile under [path] — at worst the temp file holds debris
+   and the previous snapshot survives intact. *)
 let save rt path =
   let s = to_string (capture rt) in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-      output_string oc s)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     if !Chaos.on && Chaos.fire Chaos.profile_truncate then begin
+       (* simulated crash mid-write: half the bytes land in the temp file,
+          which is left behind; the rename below must never happen *)
+       output_string oc (String.sub s 0 (String.length s / 2));
+       close_out_noerr oc;
+       raise (Sys_error (tmp ^ ": chaos: profile write killed mid-write"))
+     end;
+     let s =
+       if !Chaos.on && Chaos.fire Chaos.profile_corrupt then
+         (* clobber the header so the loader must degrade to a cold start *)
+         String.mapi (fun i c -> if i < 8 then '#' else c) s
+       else s
+     in
+     output_string oc s;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
 
 let load path : profile option =
   match

@@ -144,6 +144,11 @@ let resume rt frame =
                calls = meth.mcalls;
                backedges = meth.mbackedges;
              });
+      (* semantics-preserving hierarchy churn: the invalidation fan-out of
+         an [add_method] (IC flush, epoch bump, devirt kill) without the
+         dispatch change *)
+      if !Chaos.on && Chaos.fire Chaos.hier_churn then
+        Runtime.hierarchy_changed rt ~name:meth.mname;
       match Runtime.tiered_fn rt meth with
       | Some cfn -> push f (cfn (pop_args f nargs))
       | None -> current := Some (frame_of_call meth f nargs))
@@ -312,6 +317,8 @@ let call rt meth (args : value array) =
              calls = meth.mcalls;
              backedges = meth.mbackedges;
            });
+    if !Chaos.on && Chaos.fire Chaos.hier_churn then
+      Runtime.hierarchy_changed rt ~name:meth.mname;
     match Runtime.tiered_fn rt meth with
     | Some cfn -> cfn args
     | None -> resume rt (make_frame meth args))

@@ -36,6 +36,8 @@ let create ?(tiering = false) ?(tier_threshold = 16) ?(tier_cache_size = 512)
         t_bg_recompile = None;
         t_hier_epoch = 0;
         t_devirt_deps = Hashtbl.create 16;
+        t_promote_gate = None;
+        t_on_deopt = None;
         t_compiles = 0;
         t_cache_hits = 0;
         t_cache_misses = 0;
@@ -224,6 +226,9 @@ let hier_epoch rt = with_tier_lock rt (fun () -> rt.tiering.t_hier_epoch)
 let tier_install_unlocked rt ?(deps = []) (m : meth) fn =
   let t = rt.tiering in
   let entry = { ce_meth = m; ce_fn = fn; ce_gen = tier_gen_unlocked rt m.mid } in
+  (* forced eviction pressure: behave as if the cache were full on this
+     install, regardless of occupancy *)
+  if !Chaos.on && Chaos.fire Chaos.cache_evict then tier_evict rt;
   if
     (not (Hashtbl.mem t.t_cache m.mid))
     && Hashtbl.length t.t_cache >= t.t_cache_size
@@ -398,7 +403,10 @@ let tiered_fn rt (m : meth) : (value array -> value) option =
     if not t.t_enabled then None
     else begin
       t.t_cache_misses <- t.t_cache_misses + 1;
-      if m.mcalls + m.mbackedges >= t.t_threshold then tier_promote rt m
+      if
+        m.mcalls + m.mbackedges >= t.t_threshold
+        && (match t.t_promote_gate with None -> true | Some gate -> gate m)
+      then tier_promote rt m
       else None
     end
 

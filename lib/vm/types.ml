@@ -223,6 +223,15 @@ and tiering = {
     (* method name -> compiled methods whose installed code speculates on
        dispatch of that name (IC feedback or CHA); [hierarchy_changed]
        invalidates the bucket.  Guarded by [t_lock]. *)
+  mutable t_promote_gate : (meth -> bool) option;
+    (* consulted after the hotness threshold and before [tier_promote];
+       the governor installs a gate to hold demoted methods back until
+       their exponential backoff is served *)
+  mutable t_on_deopt : (meth -> string -> int -> int -> bool) option;
+    (* [f m tag pc line] called on every guard deopt; the governor's
+       circuit breaker counts strikes here.  Returning [true] means the
+       governor took over remediation (demote/blacklist) and the normal
+       deopt handling (recompile, devirt reprofile) must be skipped *)
   mutable t_compiles : int;
   mutable t_cache_hits : int;
   mutable t_cache_misses : int;

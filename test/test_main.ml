@@ -17,4 +17,6 @@ let () =
       ("safeint", Test_safeint.suite);
       ("extras", Test_extras.suite);
       ("persist", Test_persist.suite);
+      ("chaos", Test_chaos.suite);
+      ("governor", Test_governor.suite);
     ]
